@@ -1,0 +1,67 @@
+"""Micro-benchmarks of the library's hot paths.
+
+Not tied to a paper table — these track the performance of the simulation
+substrate itself so regressions in the vectorised kernels are caught:
+
+* gain-matrix construction (the one O(n^2) setup cost);
+* a single channel ``resolve`` (the per-round cost);
+* a full execution of the paper's algorithm;
+* a link-class partition (the per-round analysis cost in tracked runs).
+"""
+
+import numpy as np
+
+from repro.analysis.linkclasses import link_class_partition
+from repro.deploy.topologies import uniform_disk
+from repro.protocols.simple import FixedProbabilityProtocol
+from repro.sim.engine import Simulation
+from repro.sim.seeding import generator_from
+from repro.sinr.channel import SINRChannel
+from repro.sinr.geometry import pairwise_distances
+
+N = 512
+
+
+def _positions():
+    return uniform_disk(N, generator_from(1001))
+
+
+def test_gain_matrix_construction(benchmark):
+    positions = _positions()
+    channel = benchmark(SINRChannel, positions)
+    assert channel.n == N
+
+
+def test_single_round_resolve(benchmark):
+    channel = SINRChannel(_positions())
+    rng = generator_from(1002)
+    transmitters = sorted(rng.choice(N, size=N // 10, replace=False).tolist())
+
+    report = benchmark(channel.resolve, transmitters)
+    assert len(report.transmitters) == N // 10
+
+
+def test_full_execution_simple_protocol(benchmark):
+    positions = _positions()
+    channel = SINRChannel(positions)
+
+    def execute():
+        nodes = FixedProbabilityProtocol(p=0.1).build(channel.n)
+        return Simulation(
+            channel,
+            nodes,
+            rng=generator_from(1003),
+            max_rounds=50_000,
+            keep_records=False,
+        ).run()
+
+    trace = benchmark(execute)
+    assert trace.solved
+
+
+def test_link_class_partition_cost(benchmark):
+    distances = pairwise_distances(_positions())
+    active = np.ones(N, dtype=bool)
+
+    partition = benchmark(link_class_partition, distances, active)
+    assert len(partition.class_of) == N

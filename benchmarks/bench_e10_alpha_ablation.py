@@ -1,0 +1,15 @@
+"""E10 — path-loss-exponent ablation (DESIGN.md experiment index).
+
+Regenerates the rounds-vs-``alpha`` table and asserts that spatial reuse —
+and with it the algorithm's speed — degrades as ``alpha -> 2``.
+"""
+
+from conftest import run_experiment_benchmark
+
+from repro.experiments import e10_alpha_ablation
+
+
+def test_e10_alpha_ablation(benchmark, capsys):
+    run_experiment_benchmark(
+        benchmark, capsys, e10_alpha_ablation, e10_alpha_ablation.Config.quick()
+    )

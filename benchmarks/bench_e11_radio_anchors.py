@@ -1,0 +1,15 @@
+"""E11 — the radio-model anchors (DESIGN.md experiment index).
+
+Regenerates the decay / CD-tournament round tables on the collision channel
+and asserts decay's ``log^2 n`` vs the tournament's ``log n`` growth.
+"""
+
+from conftest import run_experiment_benchmark
+
+from repro.experiments import e11_radio_anchors
+
+
+def test_e11_radio_model_anchors(benchmark, capsys):
+    run_experiment_benchmark(
+        benchmark, capsys, e11_radio_anchors, e11_radio_anchors.Config.quick()
+    )

@@ -1,0 +1,16 @@
+"""E12 — Rayleigh-fading robustness (DESIGN.md experiment index).
+
+Regenerates the deterministic-vs-Rayleigh round table and asserts the
+paper's algorithm survives per-round stochastic fading within a small
+constant factor.
+"""
+
+from conftest import run_experiment_benchmark
+
+from repro.experiments import e12_rayleigh
+
+
+def test_e12_rayleigh_robustness(benchmark, capsys):
+    run_experiment_benchmark(
+        benchmark, capsys, e12_rayleigh, e12_rayleigh.Config.quick()
+    )

@@ -1,0 +1,18 @@
+"""E13 — the Section 3.2 interference bounds (DESIGN.md experiment index).
+
+Regenerates the Claims 1-2 / Lemma 4 bound-vs-measured ratio table on real
+deployments and asserts every inequality holds.
+"""
+
+from conftest import run_experiment_benchmark
+
+from repro.experiments import e13_interference_bounds
+
+
+def test_e13_interference_bounds(benchmark, capsys):
+    run_experiment_benchmark(
+        benchmark,
+        capsys,
+        e13_interference_bounds,
+        e13_interference_bounds.Config.quick(),
+    )

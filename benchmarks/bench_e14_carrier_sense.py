@@ -1,0 +1,16 @@
+"""E14 — carrier sensing on the fading channel (DESIGN.md experiment index).
+
+Regenerates the carrier-sense tournament tables (n sweep + R sweep) and
+asserts logarithmic growth, R-insensitivity and competitiveness with the
+paper's algorithm.
+"""
+
+from conftest import run_experiment_benchmark
+
+from repro.experiments import e14_carrier_sense
+
+
+def test_e14_carrier_sense(benchmark, capsys):
+    run_experiment_benchmark(
+        benchmark, capsys, e14_carrier_sense, e14_carrier_sense.Config.quick()
+    )

@@ -1,0 +1,16 @@
+"""E15 — staggered wake-up (DESIGN.md experiment index).
+
+Regenerates the windowed-activation table (local clocks, no global phase
+reference) and asserts the paper's memoryless algorithm pays bounded
+overhead and is never hurt by staggering.
+"""
+
+from conftest import run_experiment_benchmark
+
+from repro.experiments import e15_staggered_wakeup
+
+
+def test_e15_staggered_wakeup(benchmark, capsys):
+    run_experiment_benchmark(
+        benchmark, capsys, e15_staggered_wakeup, e15_staggered_wakeup.Config.quick()
+    )

@@ -1,0 +1,15 @@
+"""E16 — jamming degradation (DESIGN.md experiment index).
+
+Regenerates the jammer power/duty sweep table and asserts graceful,
+monotone degradation of the paper's algorithm under external interference.
+"""
+
+from conftest import run_experiment_benchmark
+
+from repro.experiments import e16_jamming
+
+
+def test_e16_jamming_degradation(benchmark, capsys):
+    run_experiment_benchmark(
+        benchmark, capsys, e16_jamming, e16_jamming.Config.quick()
+    )

@@ -1,0 +1,15 @@
+"""E17 — the log n law at scale (DESIGN.md experiment index).
+
+Regenerates the large-n scaling table via the vectorised fast path and
+asserts the logarithmic growth signature holds out to thousands of nodes.
+"""
+
+from conftest import run_experiment_benchmark
+
+from repro.experiments import e17_large_scale
+
+
+def test_e17_log_law_at_scale(benchmark, capsys):
+    run_experiment_benchmark(
+        benchmark, capsys, e17_large_scale, e17_large_scale.Config.quick()
+    )

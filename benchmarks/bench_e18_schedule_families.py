@@ -1,0 +1,19 @@
+"""E18 — oblivious schedule families (DESIGN.md experiment index).
+
+Regenerates the sawtooth/decay/simple comparison table and asserts each
+schedule's growth law: linear without knowledge on the collision channel,
+logarithmic with knowledge, logarithmic without knowledge on fading.
+"""
+
+from conftest import run_experiment_benchmark
+
+from repro.experiments import e18_schedule_families
+
+
+def test_e18_schedule_families(benchmark, capsys):
+    run_experiment_benchmark(
+        benchmark,
+        capsys,
+        e18_schedule_families,
+        e18_schedule_families.Config.quick(),
+    )

@@ -1,0 +1,16 @@
+"""E1 — Theorem 1's ``n`` dependence (DESIGN.md experiment index).
+
+Regenerates the rounds-vs-``n`` table for the paper's algorithm on
+uniform-disk deployments and asserts the growth tracks ``log n``, not
+``log^2 n``.
+"""
+
+from conftest import run_experiment_benchmark
+
+from repro.experiments import e1_scaling_n
+
+
+def test_e1_rounds_vs_n(benchmark, capsys):
+    run_experiment_benchmark(
+        benchmark, capsys, e1_scaling_n, e1_scaling_n.Config.quick()
+    )

@@ -1,0 +1,16 @@
+"""E2 — Theorem 1's ``R`` dependence (DESIGN.md experiment index).
+
+Regenerates the rounds-vs-``log R`` table on exponential-chain deployments
+and asserts the upper-bound shape ``rounds <= C (log n + log R)`` plus the
+improvement over the naive ``log n * log R`` schedule.
+"""
+
+from conftest import run_experiment_benchmark
+
+from repro.experiments import e2_scaling_r
+
+
+def test_e2_rounds_vs_log_r(benchmark, capsys):
+    run_experiment_benchmark(
+        benchmark, capsys, e2_scaling_r, e2_scaling_r.Config.quick()
+    )

@@ -1,0 +1,20 @@
+"""E3 — the headline comparison table (DESIGN.md experiment index).
+
+Regenerates the protocol-vs-protocol round-count table: the paper's simple
+algorithm against JS16, decay, genie ALOHA and pessimistic BEB, each on its
+natural channel, and asserts who wins and that the win factor over decay
+does not shrink with ``n``.
+"""
+
+from conftest import run_experiment_benchmark
+
+from repro.experiments import e3_protocol_comparison
+
+
+def test_e3_protocol_comparison(benchmark, capsys):
+    run_experiment_benchmark(
+        benchmark,
+        capsys,
+        e3_protocol_comparison,
+        e3_protocol_comparison.Config.quick(),
+    )

@@ -1,0 +1,15 @@
+"""E4 — Lemma 6's good-node fraction (DESIGN.md experiment index).
+
+Regenerates the per-class good-fraction table on deployments whose dominant
+classes satisfy the lemma's hypothesis and asserts the >= 1/2 guarantee.
+"""
+
+from conftest import run_experiment_benchmark
+
+from repro.experiments import e4_good_nodes
+
+
+def test_e4_good_node_fraction(benchmark, capsys):
+    run_experiment_benchmark(
+        benchmark, capsys, e4_good_nodes, e4_good_nodes.Config.quick()
+    )

@@ -1,0 +1,15 @@
+"""E5 — Corollary 7's single-round knockout (DESIGN.md experiment index).
+
+Regenerates the knockout-fraction-per-round table for dominant link classes
+and asserts the constant-fraction knockout with size-vanishing failures.
+"""
+
+from conftest import run_experiment_benchmark
+
+from repro.experiments import e5_knockout
+
+
+def test_e5_single_round_knockout(benchmark, capsys):
+    run_experiment_benchmark(
+        benchmark, capsys, e5_knockout, e5_knockout.Config.quick()
+    )

@@ -1,0 +1,16 @@
+"""E6 — Section 3.3's q_t schedule (DESIGN.md experiment index).
+
+Regenerates the link-class-trajectory vs schedule table and asserts that
+executions empty all classes within a constant number of rounds per
+schedule step.
+"""
+
+from conftest import run_experiment_benchmark
+
+from repro.experiments import e6_class_bounds
+
+
+def test_e6_class_bound_schedule(benchmark, capsys):
+    run_experiment_benchmark(
+        benchmark, capsys, e6_class_bounds, e6_class_bounds.Config.quick()
+    )

@@ -1,0 +1,16 @@
+"""E7 — Lemma 13's hitting-game bound (DESIGN.md experiment index).
+
+Regenerates the player-vs-referee round table and asserts the
+``Theta(log k)`` shape from both sides (bit-splitting matches the adaptive
+floor exactly; the singleton anti-baseline is linear).
+"""
+
+from conftest import run_experiment_benchmark
+
+from repro.experiments import e7_hitting_game
+
+
+def test_e7_hitting_game(benchmark, capsys):
+    run_experiment_benchmark(
+        benchmark, capsys, e7_hitting_game, e7_hitting_game.Config.quick()
+    )

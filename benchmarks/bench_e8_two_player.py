@@ -1,0 +1,15 @@
+"""E8 — Lemma 14's reduction and two-player CR (DESIGN.md experiment index).
+
+Regenerates the failure-probability-vs-budget table (the 2^-B envelope) and
+the reduction-vs-adaptive-referee floor table.
+"""
+
+from conftest import run_experiment_benchmark
+
+from repro.experiments import e8_two_player
+
+
+def test_e8_two_player_and_reduction(benchmark, capsys):
+    run_experiment_benchmark(
+        benchmark, capsys, e8_two_player, e8_two_player.Config.quick()
+    )

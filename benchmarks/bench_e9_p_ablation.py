@@ -1,0 +1,15 @@
+"""E9 — broadcast-probability ablation (DESIGN.md experiment index).
+
+Regenerates the rounds-vs-``p`` table for the paper's algorithm and asserts
+the broad-U shape around the working range.
+"""
+
+from conftest import run_experiment_benchmark
+
+from repro.experiments import e9_p_ablation
+
+
+def test_e9_broadcast_probability_ablation(benchmark, capsys):
+    run_experiment_benchmark(
+        benchmark, capsys, e9_p_ablation, e9_p_ablation.Config.quick()
+    )

@@ -1,0 +1,25 @@
+"""Shared harness for the benchmark suite.
+
+Each ``bench_e*.py`` file regenerates one experiment from the DESIGN.md
+index: it runs the experiment's ``run(config)`` exactly once under
+pytest-benchmark timing, prints the experiment's table to the terminal
+(bypassing capture, so ``pytest benchmarks/ --benchmark-only`` shows the
+reproduced rows), and asserts the experiment's shape checks.
+
+``run_experiment_benchmark`` is the one helper they all share.
+"""
+
+from __future__ import annotations
+
+
+def run_experiment_benchmark(benchmark, capsys, module, config):
+    """Run one experiment once under timing, print its table, assert checks."""
+    result = benchmark.pedantic(module.run, args=(config,), iterations=1, rounds=1)
+    with capsys.disabled():
+        print()
+        print(result.format())
+    assert result.passed, (
+        f"{result.experiment_id} shape checks failed: "
+        + ", ".join(name for name, ok in result.checks.items() if not ok)
+    )
+    return result

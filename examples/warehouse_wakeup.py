@@ -1,0 +1,70 @@
+"""Scenario: simultaneous wake-up of sensor clusters in a warehouse.
+
+The contention-resolution problem the paper studies is exactly the
+link-layer situation after a power cycle or an alarm: an unknown set of
+radios activates at once and the protocol completes when one of them gets
+a transmission through alone. This example models a warehouse with several
+dense racks of sensors (a clustered deployment — many devices per link
+class) and compares three strategies a firmware engineer could ship:
+
+* the paper's fixed-probability algorithm (no configuration needed);
+* decay, which must be flashed with an upper bound ``N`` on the fleet
+  size — shown both correctly sized and over-provisioned 16x (the realistic
+  case: firmware outlives deployments);
+* genie ALOHA, the unattainable floor that knows the exact fleet size.
+
+Run: ``python examples/warehouse_wakeup.py``
+"""
+
+import repro
+
+
+def main() -> None:
+    num_racks, sensors_per_rack = 6, 24
+    fleet = num_racks * sensors_per_rack
+    trials = 40
+
+    def warehouse(rng):
+        positions = repro.clustered(
+            num_clusters=num_racks,
+            nodes_per_cluster=sensors_per_rack,
+            rng=rng,
+            cluster_radius=6.0,
+        )
+        return repro.SINRChannel(positions)
+
+    def radio(rng):
+        # Decay/ALOHA come from the radio-network literature; run them in
+        # their native collision model for a fair comparison of *rounds*.
+        return repro.RadioChannel(fleet)
+
+    lineup = [
+        ("paper's algorithm (zero config)", repro.FixedProbabilityProtocol(p=0.1), warehouse),
+        ("decay, N sized exactly", repro.DecayProtocol(size_bound=fleet), radio),
+        ("decay, N over-provisioned 16x", repro.DecayProtocol(size_bound=16 * fleet), radio),
+        ("genie ALOHA (knows exact n)", repro.SlottedAlohaProtocol(), radio),
+    ]
+
+    print(f"warehouse: {num_racks} racks x {sensors_per_rack} sensors = {fleet} radios")
+    print(f"{trials} independent wake-ups per strategy\n")
+    for seed_offset, (label, protocol, channel_factory) in enumerate(lineup):
+        stats = repro.run_trials(
+            channel_factory,
+            protocol,
+            trials=trials,
+            seed=(90, seed_offset),
+            max_rounds=100_000,
+        )
+        print(f"  {label:<34} mean {stats.mean_rounds:6.1f}  "
+              f"p95 {stats.percentile(95):6.1f}  worst {stats.max_rounds:5.0f}")
+
+    print(
+        "\nThe fixed-probability algorithm needs no provisioning and rides"
+        "\nthe fading channel's spatial reuse: racks thin out in parallel."
+        "\nDecay pays for its probability sweep — and pays more when the"
+        "\nflashed bound N exceeds the actual fleet."
+    )
+
+
+if __name__ == "__main__":
+    main()

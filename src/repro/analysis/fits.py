@@ -1,0 +1,167 @@
+"""Scaling-law fits: turning round counts into growth rates.
+
+The reproduction's verdicts are statements like "measured rounds grow as
+``log n``, not ``log^2 n``". We decide them by least-squares fitting the
+candidate laws
+
+    f(n) = a * log2(n) + b            ("log")
+    f(n) = a * log2(n)^2 + b          ("log2")
+    f(n) = a * log2(n)^2/loglog + b   ("log2_over_loglog")
+    f(n) = a * n + b                  ("linear")
+    f(n) = b                          ("constant")
+
+and comparing them by AIC (small-sample corrected), which penalises the
+extra freedom a steeper curve buys. All candidate laws here have the same
+parameter count (2, except "constant" with 1), so for same-size models AIC
+reduces to comparing residual sums of squares — but we keep the general
+form so mixed comparisons stay meaningful.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, Sequence
+
+import numpy as np
+
+__all__ = ["FitResult", "SCALING_LAWS", "fit_scaling_law", "fit_models", "best_fit"]
+
+
+def _log2(n: np.ndarray) -> np.ndarray:
+    return np.log2(n)
+
+
+def _log2_squared(n: np.ndarray) -> np.ndarray:
+    return np.log2(n) ** 2
+
+
+def _log2_squared_over_loglog(n: np.ndarray) -> np.ndarray:
+    logs = np.log2(n)
+    loglogs = np.maximum(np.log2(np.maximum(logs, 2.0)), 1.0)
+    return logs**2 / loglogs
+
+
+def _identity(n: np.ndarray) -> np.ndarray:
+    return n.astype(np.float64)
+
+
+#: name -> regressor transform. Each law is ``a * transform(n) + b``.
+SCALING_LAWS: Dict[str, Callable[[np.ndarray], np.ndarray]] = {
+    "log": _log2,
+    "log2": _log2_squared,
+    "log2_over_loglog": _log2_squared_over_loglog,
+    "linear": _identity,
+}
+
+
+@dataclass(frozen=True)
+class FitResult:
+    """One fitted scaling law.
+
+    Attributes
+    ----------
+    law:
+        Name of the law (key into :data:`SCALING_LAWS`, or "constant").
+    slope, intercept:
+        Fitted ``a`` and ``b`` (``slope`` is 0 for "constant").
+    r_squared:
+        Coefficient of determination on the fitted data.
+    aic:
+        Small-sample corrected Akaike information criterion (lower wins).
+    """
+
+    law: str
+    slope: float
+    intercept: float
+    r_squared: float
+    aic: float
+
+    def predict(self, n) -> np.ndarray:
+        """Evaluate the fitted law at the given sizes."""
+        n = np.asarray(n, dtype=np.float64)
+        if self.law == "constant":
+            return np.full_like(n, self.intercept)
+        transform = SCALING_LAWS[self.law]
+        return self.slope * transform(n) + self.intercept
+
+    def __str__(self) -> str:
+        return (
+            f"{self.law}: {self.slope:.3g} * f(n) + {self.intercept:.3g} "
+            f"(R^2={self.r_squared:.4f}, AIC={self.aic:.1f})"
+        )
+
+
+def _aic(rss: float, num_points: int, num_params: int) -> float:
+    """Corrected AIC from a residual sum of squares."""
+    if num_points <= num_params + 1:
+        return math.inf
+    rss = max(rss, 1e-12)
+    aic = num_points * math.log(rss / num_points) + 2 * num_params
+    correction = (
+        2 * num_params * (num_params + 1) / (num_points - num_params - 1)
+    )
+    return aic + correction
+
+
+def fit_scaling_law(
+    sizes: Sequence[float], values: Sequence[float], law: str
+) -> FitResult:
+    """Least-squares fit of one law to ``(sizes, values)``."""
+    n = np.asarray(sizes, dtype=np.float64)
+    y = np.asarray(values, dtype=np.float64)
+    if n.shape != y.shape or n.ndim != 1:
+        raise ValueError("sizes and values must be 1-D arrays of equal length")
+    if n.size < 3:
+        raise ValueError(f"need at least 3 points to fit (got {n.size})")
+    if np.any(n < 2):
+        raise ValueError("sizes must be >= 2 for log-based laws")
+
+    total_ss = float(((y - y.mean()) ** 2).sum())
+    if law == "constant":
+        intercept = float(y.mean())
+        rss = total_ss
+        r_squared = 0.0 if total_ss > 0 else 1.0
+        return FitResult(
+            law="constant",
+            slope=0.0,
+            intercept=intercept,
+            r_squared=r_squared,
+            aic=_aic(rss, n.size, 1),
+        )
+    if law not in SCALING_LAWS:
+        raise KeyError(f"unknown law {law!r}; choose from {sorted(SCALING_LAWS)}")
+
+    x = SCALING_LAWS[law](n)
+    design = np.column_stack((x, np.ones_like(x)))
+    coeffs, _, _, _ = np.linalg.lstsq(design, y, rcond=None)
+    slope, intercept = float(coeffs[0]), float(coeffs[1])
+    predicted = design @ coeffs
+    rss = float(((y - predicted) ** 2).sum())
+    r_squared = 1.0 - rss / total_ss if total_ss > 0 else 1.0
+    return FitResult(
+        law=law,
+        slope=slope,
+        intercept=intercept,
+        r_squared=r_squared,
+        aic=_aic(rss, n.size, 2),
+    )
+
+
+def fit_models(
+    sizes: Sequence[float],
+    values: Sequence[float],
+    laws: Sequence[str] = ("log", "log2", "log2_over_loglog"),
+) -> Dict[str, FitResult]:
+    """Fit several laws to the same data."""
+    return {law: fit_scaling_law(sizes, values, law) for law in laws}
+
+
+def best_fit(
+    sizes: Sequence[float],
+    values: Sequence[float],
+    laws: Sequence[str] = ("log", "log2", "log2_over_loglog"),
+) -> FitResult:
+    """The AIC-minimising law among the candidates."""
+    fits = fit_models(sizes, values, laws)
+    return min(fits.values(), key=lambda fit: fit.aic)

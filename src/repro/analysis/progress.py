@@ -1,0 +1,138 @@
+"""Execution-progress analytics: survival, hazard, and contention decay.
+
+The paper's bound is a statement about the *distribution* of the solving
+round; these helpers turn batches of trials and individual traces into the
+standard reliability-theory views of that distribution:
+
+``survival_curve``
+    Fraction of trials still unsolved after each round — the empirical
+    complement of the solving-round CDF. A w.h.p. ``O(log n)`` bound
+    predicts the curve collapses within ``c log n`` rounds.
+``hazard_curve``
+    Per-round conditional solve probability. The memoryless structure of
+    the paper's algorithm makes the endgame hazard roughly flat; decay's
+    sweep makes it periodic.
+``contention_decay_rate``
+    The geometric rate at which an execution's active-node count falls —
+    the measurable footprint of Corollary 7's constant-fraction knockouts.
+    Fitted by least squares on ``log(active)`` over the rounds with at
+    least two active nodes.
+``knockout_efficiency``
+    Knockouts per transmission — how much deactivation work each unit of
+    channel use buys. Spatial reuse shows up as efficiency near or above
+    1; the collision channel's is near 0 until the solo round.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.sim.trace import ExecutionTrace
+
+__all__ = [
+    "survival_curve",
+    "hazard_curve",
+    "contention_decay_rate",
+    "knockout_efficiency",
+]
+
+
+def survival_curve(
+    solve_rounds: Sequence[Optional[int]],
+    max_round: Optional[int] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Empirical survival function of the solving round.
+
+    Parameters
+    ----------
+    solve_rounds:
+        Per-trial solving rounds (1-based); ``None`` marks a trial that
+        never solved (censored at ``max_round``).
+    max_round:
+        Horizon of the curve; defaults to the largest observed solving
+        round (or 1 if nothing solved).
+
+    Returns
+    -------
+    (rounds, fraction_unsolved):
+        ``rounds = 0 .. max_round``; entry ``t`` is the fraction of trials
+        whose solving round exceeds ``t``.
+    """
+    outcomes = list(solve_rounds)
+    if not outcomes:
+        raise ValueError("solve_rounds must be non-empty")
+    solved = [r for r in outcomes if r is not None]
+    if max_round is None:
+        max_round = max(solved) if solved else 1
+    if max_round < 1:
+        raise ValueError(f"max_round must be positive (got {max_round})")
+    ts = np.arange(0, max_round + 1)
+    survivors = np.empty(ts.shape, dtype=np.float64)
+    total = len(outcomes)
+    for index, t in enumerate(ts):
+        unsolved = sum(1 for r in outcomes if r is None or r > t)
+        survivors[index] = unsolved / total
+    return ts, survivors
+
+
+def hazard_curve(
+    solve_rounds: Sequence[Optional[int]],
+    max_round: Optional[int] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Empirical per-round solve hazard.
+
+    Entry ``t`` (1-based rounds) is ``P(solved at round t | unsolved
+    before t)``; ``nan`` once no trials remain at risk.
+    """
+    outcomes = list(solve_rounds)
+    if not outcomes:
+        raise ValueError("solve_rounds must be non-empty")
+    solved = [r for r in outcomes if r is not None]
+    if max_round is None:
+        max_round = max(solved) if solved else 1
+    ts = np.arange(1, max_round + 1)
+    hazards = np.full(ts.shape, np.nan)
+    for index, t in enumerate(ts):
+        at_risk = sum(1 for r in outcomes if r is None or r >= t)
+        if at_risk == 0:
+            break
+        events = sum(1 for r in outcomes if r == t)
+        hazards[index] = events / at_risk
+    return ts, hazards
+
+
+def contention_decay_rate(trace: ExecutionTrace) -> float:
+    """Fitted per-round geometric decay factor of the active-node count.
+
+    Returns ``gamma`` such that ``active(t) ~ active(0) * gamma^t`` over
+    the recorded rounds with at least 2 active nodes. ``gamma < 1`` means
+    contention is falling; Corollary 7 predicts a constant ``gamma``
+    bounded away from 1 for the paper's algorithm on a fading channel.
+
+    Requires a trace recorded with ``keep_records=True`` and at least two
+    qualifying rounds.
+    """
+    counts = [c for c in trace.active_counts() if c >= 2]
+    if len(counts) < 2:
+        raise ValueError(
+            "need at least two recorded rounds with >= 2 active nodes"
+        )
+    ys = np.log(np.asarray(counts, dtype=np.float64))
+    xs = np.arange(len(counts), dtype=np.float64)
+    slope = float(np.polyfit(xs, ys, 1)[0])
+    return math.exp(slope)
+
+
+def knockout_efficiency(trace: ExecutionTrace) -> float:
+    """Knockouts per transmission over the recorded execution.
+
+    ``sum(knocked_out) / sum(transmitters)``; ``nan`` if nothing was ever
+    transmitted.
+    """
+    transmissions = sum(len(record.transmitters) for record in trace.records)
+    if transmissions == 0:
+        return float("nan")
+    return trace.total_knockouts() / transmissions

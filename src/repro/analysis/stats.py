@@ -1,0 +1,75 @@
+"""Bootstrap confidence intervals and summary helpers.
+
+Round counts are small integers with heavy right tails (w.h.p. bounds say
+nothing about the best case), so normal-theory intervals are misleading.
+Percentile bootstrap over the trial values is the honest default for
+everything the experiments report.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["bootstrap_ci", "bootstrap_mean_ci", "empirical_tail_probability"]
+
+
+def bootstrap_ci(
+    values: Sequence[float],
+    statistic: Callable[[np.ndarray], float],
+    rng: np.random.Generator,
+    confidence: float = 0.95,
+    resamples: int = 2_000,
+) -> Tuple[float, float]:
+    """Percentile-bootstrap interval for an arbitrary statistic.
+
+    Parameters
+    ----------
+    values:
+        The observed sample (e.g. per-trial solving rounds).
+    statistic:
+        Maps a resampled array to a scalar (``np.mean``, ``np.median``...).
+    rng:
+        Generator for resampling (determinism is the caller's job).
+    confidence:
+        Two-sided coverage, in (0, 1).
+    resamples:
+        Number of bootstrap resamples.
+    """
+    sample = np.asarray(values, dtype=np.float64)
+    if sample.size == 0:
+        raise ValueError("cannot bootstrap an empty sample")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1) (got {confidence})")
+    if resamples < 1:
+        raise ValueError(f"resamples must be positive (got {resamples})")
+    indices = rng.integers(0, sample.size, size=(resamples, sample.size))
+    stats = np.apply_along_axis(statistic, 1, sample[indices])
+    lower = (1.0 - confidence) / 2.0 * 100.0
+    upper = 100.0 - lower
+    return (float(np.percentile(stats, lower)), float(np.percentile(stats, upper)))
+
+
+def bootstrap_mean_ci(
+    values: Sequence[float],
+    rng: np.random.Generator,
+    confidence: float = 0.95,
+    resamples: int = 2_000,
+) -> Tuple[float, float]:
+    """Percentile-bootstrap interval for the mean."""
+    return bootstrap_ci(values, np.mean, rng, confidence, resamples)
+
+
+def empirical_tail_probability(values: Sequence[float], threshold: float) -> float:
+    """Fraction of observations strictly exceeding ``threshold``.
+
+    Used to check w.h.p. statements empirically: the paper promises the
+    solving round exceeds ``c (log n + log R)`` with probability at most
+    ``1/n``, so the measured tail beyond a fitted budget should shrink as
+    ``n`` grows.
+    """
+    sample = np.asarray(values, dtype=np.float64)
+    if sample.size == 0:
+        raise ValueError("cannot compute a tail probability of an empty sample")
+    return float((sample > threshold).mean())

@@ -1,0 +1,85 @@
+"""Deployment persistence: save and load node positions.
+
+Reproducibility across machines and sessions needs deployments on disk,
+not just seeds — a seed only reproduces a deployment under the same
+library version and generator path. The JSON format here is deliberately
+tiny and self-describing:
+
+.. code-block:: json
+
+    {
+        "format": "repro-deployment",
+        "version": 1,
+        "n": 3,
+        "positions": [[0.0, 0.0], [1.0, 0.0], [0.0, 2.5]],
+        "metadata": {"generator": "uniform_disk", "seed": 7}
+    }
+
+``metadata`` is free-form (provenance notes, generator parameters); the
+library never interprets it.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.sinr.geometry import as_positions
+
+__all__ = ["save_deployment", "load_deployment"]
+
+_FORMAT_NAME = "repro-deployment"
+_FORMAT_VERSION = 1
+
+PathLike = Union[str, Path]
+
+
+def save_deployment(
+    positions: np.ndarray,
+    path: PathLike,
+    metadata: Optional[Dict] = None,
+) -> None:
+    """Write a deployment (and optional provenance metadata) as JSON."""
+    positions = as_positions(positions)
+    document = {
+        "format": _FORMAT_NAME,
+        "version": _FORMAT_VERSION,
+        "n": int(positions.shape[0]),
+        "positions": positions.tolist(),
+        "metadata": dict(metadata) if metadata else {},
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2)
+        handle.write("\n")
+
+
+def load_deployment(path: PathLike) -> Tuple[np.ndarray, Dict]:
+    """Read a deployment written by :func:`save_deployment`.
+
+    Returns ``(positions, metadata)``. Raises ``ValueError`` on format
+    mismatches — a wrong file should fail loudly, not deploy garbage.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    if not isinstance(document, dict) or document.get("format") != _FORMAT_NAME:
+        raise ValueError(f"{path}: not a {_FORMAT_NAME} file")
+    version = document.get("version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(
+            f"{path}: unsupported format version {version!r} "
+            f"(this library reads version {_FORMAT_VERSION})"
+        )
+    positions = as_positions(document["positions"])
+    declared_n = document.get("n")
+    if declared_n != positions.shape[0]:
+        raise ValueError(
+            f"{path}: declared n={declared_n} but file holds "
+            f"{positions.shape[0]} positions"
+        )
+    metadata = document.get("metadata", {})
+    if not isinstance(metadata, dict):
+        raise ValueError(f"{path}: metadata must be an object")
+    return positions, metadata

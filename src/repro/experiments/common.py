@@ -1,0 +1,100 @@
+"""Shared experiment infrastructure: results, tables, verdicts.
+
+An :class:`ExperimentResult` is a small, printable record: an id and title,
+a column header, data rows, free-form notes, and a dictionary of
+``checks`` — named boolean verdicts asserting the paper's claimed *shape*
+(e.g. ``{"log_beats_log2": True}``). The test suite and EXPERIMENTS.md both
+read the checks, so a reproduction regression flips a named flag rather
+than silently drifting a number.
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+__all__ = ["ExperimentResult", "format_table"]
+
+
+def format_table(header: Sequence[str], rows: Sequence[Sequence]) -> str:
+    """Render rows as a fixed-width text table.
+
+    Column widths adapt to content; floats are shown with 4 significant
+    digits. This is deliberately plain text — the benchmark harness pipes
+    it straight to the terminal and into ``bench_output.txt``.
+    """
+    def render(cell) -> str:
+        if isinstance(cell, bool):
+            return "yes" if cell else "no"
+        if isinstance(cell, float):
+            return f"{cell:.4g}"
+        return str(cell)
+
+    rendered = [[render(cell) for cell in row] for row in rows]
+    widths = [len(col) for col in header]
+    for row in rendered:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    lines.append("  ".join(name.ljust(widths[i]) for i, name in enumerate(header)))
+    lines.append("  ".join("-" * widths[i] for i in range(len(header))))
+    for row in rendered:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+@dataclass
+class ExperimentResult:
+    """Outcome of one experiment run.
+
+    Attributes
+    ----------
+    experiment_id, title:
+        The DESIGN.md index entry this result reproduces.
+    header, rows:
+        The table (rows are sequences aligned with ``header``).
+    checks:
+        Named shape verdicts; ``all(checks.values())`` is the
+        reproduction's pass condition for this experiment.
+    notes:
+        Free-form findings (fitted laws, constants, caveats).
+    """
+
+    experiment_id: str
+    title: str
+    header: List[str]
+    rows: List[List] = field(default_factory=list)
+    checks: Dict[str, bool] = field(default_factory=dict)
+    notes: List[str] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        """Whether every shape check held."""
+        return all(self.checks.values())
+
+    def to_csv(self, path: str) -> None:
+        """Write the table rows as CSV (header included).
+
+        The CSV carries the data only; checks and notes live in the
+        markdown report. Downstream plotting pipelines consume this.
+        """
+        with open(path, "w", encoding="utf-8", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(self.header)
+            writer.writerows(self.rows)
+
+    def format(self) -> str:
+        """Full printable report: title, table, checks, notes."""
+        lines = [f"== {self.experiment_id}: {self.title} =="]
+        lines.append(format_table(self.header, self.rows))
+        if self.checks:
+            lines.append("")
+            for name, ok in sorted(self.checks.items()):
+                lines.append(f"  check {name}: {'PASS' if ok else 'FAIL'}")
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.format()

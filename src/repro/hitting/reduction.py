@@ -1,0 +1,78 @@
+"""Lemma 14: any contention-resolution algorithm is a hitting-game player.
+
+The construction, verbatim from the paper: the player "simulates A on k
+nodes with unique ids from {1, 2, ..., k}. Each simulated round corresponds
+to a round of the restricted hitting game as follows: first, the player
+proposes the set containing the id of every node that broadcast in the
+current simulated round; then second, the player completes its simulation
+of the round by simulating all k nodes receiving nothing."
+
+The correctness hinge (also from the paper): for the unknown target
+``T = {i, j}``, simulating both nodes receiving nothing is consistent with
+an execution in which only ``i`` and ``j`` exist — in any round where the
+simulation would be *inconsistent* (exactly one of the pair broadcast), the
+proposal has already won the game before the inconsistency matters.
+
+:class:`ContentionResolutionPlayer` is that player, generic over any
+:class:`~repro.protocols.base.ProtocolFactory`. Running it against the
+adaptive referee turns Lemma 13's bound into a measured floor: **every**
+protocol in the library needs at least ``ceil(log2 k)`` proposals to win.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet
+
+import numpy as np
+
+from repro.hitting.players import HittingPlayer
+from repro.protocols.base import Action, Feedback, ProtocolFactory
+
+__all__ = ["ContentionResolutionPlayer"]
+
+
+class ContentionResolutionPlayer(HittingPlayer):
+    """Hitting-game player that simulates a CR algorithm on ``k`` nodes.
+
+    Parameters
+    ----------
+    protocol:
+        Any protocol factory. Collision-detection protocols are rejected:
+        the reduction feeds nodes *silence*, and a CD protocol's behaviour
+        is not defined by reception alone.
+    k:
+        The game size; the simulation runs ``k`` nodes.
+    """
+
+    def __init__(self, protocol: ProtocolFactory, k: int) -> None:
+        super().__init__(k)
+        if protocol.requires_collision_detection:
+            raise ValueError(
+                "the Lemma 14 reduction simulates silence only; collision-"
+                "detection protocols cannot be simulated this way"
+            )
+        self.protocol = protocol
+        self.nodes = protocol.build(k)
+        self._round = 0
+        self._pending: FrozenSet[int] = frozenset()
+
+    def propose(self, round_index: int, rng: np.random.Generator) -> FrozenSet[int]:
+        transmitters = set()
+        for node in self.nodes:
+            if not node.active:
+                continue
+            if node.decide(self._round, rng) is Action.TRANSMIT:
+                transmitters.add(node.node_id)
+        self._pending = frozenset(transmitters)
+        return self._pending
+
+    def on_loss(self, round_index: int) -> None:
+        # Complete the simulated round: every node receives nothing. (On a
+        # win the game is over and the half-simulated round is discarded,
+        # exactly as in the paper's argument.)
+        for node in self.nodes:
+            if not node.active:
+                continue
+            transmitted = node.node_id in self._pending
+            node.on_feedback(self._round, Feedback(transmitted=transmitted))
+        self._round += 1

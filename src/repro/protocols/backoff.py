@@ -1,0 +1,86 @@
+"""Pessimistic binary exponential backoff.
+
+Classical BEB assumes a transmitter learns whether its transmission
+collided; the radio network model (and the paper's SINR model) denies
+transmitters any feedback. The honest adaptation — *pessimistic* BEB —
+has each node double its backoff window after every transmission it makes,
+on the assumption that the attempt failed (if it had succeeded, the
+execution would be over). Nodes that receive a message deactivate, as in
+the paper's algorithm.
+
+This baseline exists to show that uncoordinated window growth is *worse*
+than the paper's fixed probability: windows keep growing, the aggregate
+broadcast rate decays, and the time to a solo transmission stretches far
+beyond ``O(log n)``. It is the cautionary member of the E3 lineup.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.protocols.base import Action, Feedback, NodeProtocol, ProtocolFactory
+
+__all__ = ["BinaryExponentialBackoffNode", "BinaryExponentialBackoffProtocol"]
+
+
+class BinaryExponentialBackoffNode(NodeProtocol):
+    """One node with a private, pessimistically grown backoff window."""
+
+    def __init__(self, node_id: int, initial_window: int, max_window: int) -> None:
+        super().__init__(node_id)
+        if initial_window < 1:
+            raise ValueError(f"initial_window must be >= 1 (got {initial_window})")
+        if max_window < initial_window:
+            raise ValueError("max_window must be >= initial_window")
+        self.window = initial_window
+        self.max_window = max_window
+        self._countdown = 0  # transmit when the countdown reaches zero
+
+    def decide(self, round_index: int, rng: np.random.Generator) -> Action:
+        if self._countdown > 0:
+            self._countdown -= 1
+            return Action.LISTEN
+        # Transmit now; pessimistically assume collision and back off.
+        self.window = min(self.max_window, self.window * 2)
+        self._countdown = int(rng.integers(0, self.window))
+        return Action.TRANSMIT
+
+    def on_feedback(self, round_index: int, feedback: Feedback) -> None:
+        if feedback.received is not None:
+            self._active = False
+
+
+class BinaryExponentialBackoffProtocol(ProtocolFactory):
+    """Factory for pessimistic BEB.
+
+    Parameters
+    ----------
+    initial_window:
+        Starting window size (a node's first transmission lands within its
+        first ``initial_window`` rounds).
+    max_window:
+        Cap on window growth; prevents the schedule from freezing entirely
+        in long executions.
+    """
+
+    knows_network_size = False
+    requires_collision_detection = False
+
+    def __init__(self, initial_window: int = 2, max_window: int = 1 << 16) -> None:
+        if initial_window < 1:
+            raise ValueError(f"initial_window must be >= 1 (got {initial_window})")
+        if max_window < initial_window:
+            raise ValueError("max_window must be >= initial_window")
+        self.initial_window = initial_window
+        self.max_window = max_window
+        self.name = f"beb(w0={initial_window})"
+
+    def build(self, n: int) -> List[NodeProtocol]:
+        if n < 1:
+            raise ValueError(f"n must be positive (got {n})")
+        return [
+            BinaryExponentialBackoffNode(i, self.initial_window, self.max_window)
+            for i in range(n)
+        ]

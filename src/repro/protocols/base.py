@@ -1,0 +1,138 @@
+"""Protocol interface shared by the paper's algorithm and all baselines.
+
+The model (Section 2) is synchronous: each round every node either
+transmits at fixed power or listens. A protocol is therefore a per-node
+state machine with two entry points:
+
+``decide(round_index, rng)``
+    Called at the start of each round for every *active* node; returns
+    :attr:`Action.TRANSMIT` or :attr:`Action.LISTEN`.
+``on_feedback(round_index, feedback)``
+    Called after the channel resolves the round. The feedback honours the
+    model's information constraints: a transmitter learns nothing about the
+    fate of its transmission; a listener learns the decoded message (if
+    any) and — only on a collision-detection radio channel — the ternary
+    channel observation.
+
+Nodes begin *active* and may deactivate themselves (the paper's algorithm
+deactivates on first reception). Inactive nodes are never asked to decide
+and never transmit; the engine treats the first round with exactly one
+transmitter as solving the problem, matching Section 2's definition.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from enum import Enum
+from typing import List, Optional
+
+import numpy as np
+
+from repro.radio.channel import ChannelObservation
+
+__all__ = ["Action", "Feedback", "NodeProtocol", "ProtocolFactory"]
+
+
+class Action(Enum):
+    """A node's choice for one round."""
+
+    TRANSMIT = "transmit"
+    LISTEN = "listen"
+
+
+@dataclass(frozen=True)
+class Feedback:
+    """What one node learns from one round.
+
+    Attributes
+    ----------
+    transmitted:
+        Whether this node transmitted. Transmitters receive no other
+        information (``received`` is ``None`` and ``observation`` is
+        ``None`` for them) — the radio network model's defining constraint.
+    received:
+        The id of the decoded sender, or ``None`` if nothing was decoded.
+    observation:
+        On a collision-detection radio channel, what the listener
+        perceived; ``None`` on channels without receiver feedback
+        (including the SINR channel, where reception itself is the only
+        signal).
+    energy:
+        On an SINR channel, the total arriving signal power measured while
+        listening (what carrier-sensing hardware reports); ``None`` for
+        transmitters and on channels without energy measurement. Only
+        protocols that declare ``requires_energy_sensing`` may rely on it.
+    """
+
+    transmitted: bool
+    received: Optional[int] = None
+    observation: Optional[ChannelObservation] = None
+    energy: Optional[float] = None
+
+
+class NodeProtocol(ABC):
+    """Per-node state machine.
+
+    Subclasses set ``self._active = False`` to drop out of contention. The
+    engine guarantees ``decide`` is only invoked on active nodes and that
+    feedback is delivered to every node that was active at the start of the
+    round.
+
+    The class attributes ``requires_collision_detection`` and
+    ``requires_energy_sensing`` mirror the factory flags; the engine
+    consults them to refuse protocol/channel mismatches.
+    """
+
+    requires_collision_detection: bool = False
+    requires_energy_sensing: bool = False
+
+    def __init__(self, node_id: int) -> None:
+        self.node_id = node_id
+        self._active = True
+
+    @property
+    def active(self) -> bool:
+        """Whether this node is still contending."""
+        return self._active
+
+    @abstractmethod
+    def decide(self, round_index: int, rng: np.random.Generator) -> Action:
+        """Choose this round's action. Only called while active."""
+
+    def on_feedback(self, round_index: int, feedback: Feedback) -> None:
+        """Process the round's outcome. Default: ignore it."""
+
+    def __repr__(self) -> str:
+        state = "active" if self._active else "inactive"
+        return f"{type(self).__name__}(node_id={self.node_id}, {state})"
+
+
+class ProtocolFactory(ABC):
+    """Builds the per-node state machines for one execution.
+
+    Class attributes declare a protocol's assumptions so experiments can
+    report them honestly:
+
+    ``knows_network_size``
+        Whether :meth:`build` uses its ``n`` argument (e.g. decay needs an
+        upper bound on the network size; the paper's algorithm does not).
+    ``requires_collision_detection``
+        Whether the protocol only makes sense on a radio channel with
+        receiver collision detection.
+    ``requires_energy_sensing``
+        Whether the protocol needs per-round energy measurements (carrier
+        sensing), which only the SINR channel provides.
+    """
+
+    name: str = "protocol"
+    knows_network_size: bool = False
+    requires_collision_detection: bool = False
+    requires_energy_sensing: bool = False
+
+    @abstractmethod
+    def build(self, n: int) -> List[NodeProtocol]:
+        """Instantiate fresh state machines for ``n`` participating nodes."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"

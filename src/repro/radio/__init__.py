@@ -1,0 +1,23 @@
+"""Classical (non-fading) radio network substrate.
+
+The paper's headline claim is a comparison: on a fading channel the simple
+algorithm solves contention resolution in ``O(log n + log R)`` rounds,
+whereas in the classical radio network model [2, 3] the problem needs
+``Theta(log^2 n)`` rounds without collision detection and ``Theta(log n)``
+with it [20]. To reproduce that comparison we implement the classical model
+itself: a single-hop collision channel in which a round delivers a message
+iff *exactly one* node transmits, and concurrent transmissions are lost at
+every receiver.
+
+Two feedback variants are provided:
+
+* ``collision_detection=False`` — listeners cannot distinguish silence from
+  collision (the standard model; transmitters also learn nothing).
+* ``collision_detection=True`` — listeners observe one of
+  ``SILENCE | MESSAGE | COLLISION`` (receiver collision detection), the
+  assumption under which contention resolution drops to ``Theta(log n)``.
+"""
+
+from repro.radio.channel import ChannelObservation, RadioChannel, RadioReport
+
+__all__ = ["ChannelObservation", "RadioChannel", "RadioReport"]

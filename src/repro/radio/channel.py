@@ -1,0 +1,121 @@
+"""Single-hop collision channel (the classical radio network model).
+
+Geometry is irrelevant in this model: the network is a clique, a round
+delivers iff exactly one node transmits, and two or more concurrent
+transmissions collide everywhere. This matches the model in which the
+``Theta(log^2 n)`` contention-resolution lower bound holds, and — with
+receiver collision detection enabled — the ``Theta(log n)`` bound of [20].
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["ChannelObservation", "RadioReport", "RadioChannel"]
+
+
+class ChannelObservation(Enum):
+    """What a listener perceives in one round."""
+
+    SILENCE = "silence"
+    MESSAGE = "message"
+    COLLISION = "collision"
+
+
+@dataclass(frozen=True)
+class RadioReport:
+    """Outcome of one round on the collision channel.
+
+    ``received_from`` maps every listener that decoded the (unique)
+    transmission to its sender; it is empty unless exactly one node
+    transmitted. ``observations`` maps every listener to what it perceived,
+    with collisions reported as :attr:`ChannelObservation.SILENCE` when the
+    channel was built without collision detection.
+    """
+
+    transmitters: tuple
+    received_from: Dict[int, int] = field(default_factory=dict)
+    observations: Dict[int, ChannelObservation] = field(default_factory=dict)
+
+    @property
+    def is_solo(self) -> bool:
+        """Whether exactly one node transmitted (the success condition)."""
+        return len(self.transmitters) == 1
+
+    def heard_by(self, listener: int) -> Optional[int]:
+        """The transmitter decoded by ``listener``, or ``None``."""
+        return self.received_from.get(listener)
+
+
+class RadioChannel:
+    """Clique collision channel with optional receiver collision detection.
+
+    Parameters
+    ----------
+    n:
+        Number of nodes.
+    collision_detection:
+        When true, listeners can distinguish collision from silence.
+        Transmitters never receive feedback in either variant (a
+        transmitting node does not learn the fate of its transmission,
+        matching the radio network model).
+    """
+
+    def __init__(self, n: int, collision_detection: bool = False) -> None:
+        if n < 1:
+            raise ValueError(f"channel needs at least one node (got {n})")
+        self.n = n
+        self.collision_detection = collision_detection
+
+    def resolve(
+        self,
+        transmitters: Sequence[int],
+        rng: Optional[np.random.Generator] = None,
+        listeners: Optional[Sequence[int]] = None,
+    ) -> RadioReport:
+        """Resolve one synchronous round.
+
+        The signature mirrors :meth:`repro.sinr.channel.SINRChannel.resolve`
+        so the simulation engine can drive either substrate; ``rng`` is
+        accepted (and ignored) for that reason — the collision channel is
+        deterministic given the transmitter set.
+        """
+        tx = sorted(set(int(i) for i in transmitters))
+        if tx and (tx[0] < 0 or tx[-1] >= self.n):
+            raise IndexError("transmitter index out of range")
+        tx_set = set(tx)
+        if listeners is None:
+            listen_ids = [i for i in range(self.n) if i not in tx_set]
+        else:
+            listen_ids = [int(i) for i in listeners if int(i) not in tx_set]
+
+        received: Dict[int, int] = {}
+        observations: Dict[int, ChannelObservation] = {}
+        if len(tx) == 1:
+            sender = tx[0]
+            for listener in listen_ids:
+                received[listener] = sender
+                observations[listener] = ChannelObservation.MESSAGE
+        elif len(tx) == 0:
+            for listener in listen_ids:
+                observations[listener] = ChannelObservation.SILENCE
+        else:
+            collided = (
+                ChannelObservation.COLLISION
+                if self.collision_detection
+                else ChannelObservation.SILENCE
+            )
+            for listener in listen_ids:
+                observations[listener] = collided
+        return RadioReport(
+            transmitters=tuple(tx),
+            received_from=received,
+            observations=observations,
+        )
+
+    def __repr__(self) -> str:
+        return f"RadioChannel(n={self.n}, collision_detection={self.collision_detection})"

@@ -1,0 +1,23 @@
+"""Reporting: terminal charts and markdown experiment reports.
+
+Two small, dependency-free renderers:
+
+``ascii_charts``
+    Scatter/line charts and histograms as plain strings — enough to see a
+    scaling law or a distribution without leaving the terminal. Used by
+    the examples and available to interactive sessions.
+``markdown``
+    Renders :class:`~repro.experiments.common.ExperimentResult` objects as
+    markdown sections and whole experiment batches as a report file —
+    the machinery behind ``python -m repro.experiments all --report``.
+"""
+
+from repro.reporting.ascii_charts import ascii_histogram, ascii_plot
+from repro.reporting.markdown import render_result_markdown, write_report
+
+__all__ = [
+    "ascii_histogram",
+    "ascii_plot",
+    "render_result_markdown",
+    "write_report",
+]

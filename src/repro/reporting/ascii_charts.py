@@ -1,0 +1,125 @@
+"""Terminal plotting: scatter/line charts and histograms as strings.
+
+Deliberately minimal — a fixed-size character grid, optional log-x, one
+marker per series. The goal is seeing whether a curve bends like ``log n``
+or ``log^2 n`` without a plotting stack; anything fancier belongs in a
+notebook.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["ascii_plot", "ascii_histogram"]
+
+_MARKERS = "ox+*#@%&"
+
+
+def _scale(value: float, lo: float, hi: float, cells: int) -> int:
+    """Map ``value`` in [lo, hi] to a cell index in [0, cells - 1]."""
+    if hi <= lo:
+        return 0
+    fraction = (value - lo) / (hi - lo)
+    return min(cells - 1, max(0, int(round(fraction * (cells - 1)))))
+
+
+def ascii_plot(
+    series: Dict[str, Sequence[float]],
+    x: Sequence[float],
+    width: int = 64,
+    height: int = 16,
+    log_x: bool = False,
+    title: Optional[str] = None,
+) -> str:
+    """Render one or more y-series over a shared x-axis.
+
+    Parameters
+    ----------
+    series:
+        ``label -> y values`` (each the same length as ``x``). Each series
+        gets its own marker; the legend maps markers to labels.
+    x:
+        Shared x coordinates.
+    width, height:
+        Plot area size in characters.
+    log_x:
+        Plot against ``log2(x)`` — the natural axis for the scaling sweeps.
+    title:
+        Optional heading line.
+    """
+    if not series:
+        raise ValueError("at least one series is required")
+    if width < 8 or height < 4:
+        raise ValueError("plot area must be at least 8x4")
+    xs = np.asarray(list(x), dtype=np.float64)
+    if xs.size == 0:
+        raise ValueError("x must be non-empty")
+    for label, ys in series.items():
+        if len(ys) != xs.size:
+            raise ValueError(
+                f"series {label!r} has {len(ys)} points but x has {xs.size}"
+            )
+    if log_x:
+        if np.any(xs <= 0):
+            raise ValueError("log_x requires positive x values")
+        xs = np.log2(xs)
+
+    all_y = np.concatenate([np.asarray(list(ys), dtype=np.float64) for ys in series.values()])
+    y_lo, y_hi = float(all_y.min()), float(all_y.max())
+    x_lo, x_hi = float(xs.min()), float(xs.max())
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (label, ys) in enumerate(series.items()):
+        marker = _MARKERS[index % len(_MARKERS)]
+        for xi, yi in zip(xs, ys):
+            col = _scale(float(xi), x_lo, x_hi, width)
+            row = height - 1 - _scale(float(yi), y_lo, y_hi, height)
+            grid[row][col] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = f"{y_hi:.3g}"
+        elif row_index == height - 1:
+            label = f"{y_lo:.3g}"
+        else:
+            label = ""
+        lines.append(f"{label:>9} |" + "".join(row))
+    axis_name = "log2(x)" if log_x else "x"
+    lines.append(" " * 10 + "+" + "-" * width)
+    lines.append(
+        " " * 10 + f"{x_lo:.3g}".ljust(width // 2)
+        + f"{axis_name} -> {x_hi:.3g}".rjust(width // 2)
+    )
+    legend = "  ".join(
+        f"{_MARKERS[i % len(_MARKERS)]}={label}" for i, label in enumerate(series)
+    )
+    lines.append(" " * 10 + legend)
+    return "\n".join(lines)
+
+
+def ascii_histogram(
+    values: Sequence[float],
+    bins: int = 10,
+    width: int = 40,
+    title: Optional[str] = None,
+) -> str:
+    """Render a horizontal-bar histogram of ``values``."""
+    data = np.asarray(list(values), dtype=np.float64)
+    if data.size == 0:
+        raise ValueError("values must be non-empty")
+    if bins < 1:
+        raise ValueError(f"bins must be positive (got {bins})")
+    counts, edges = np.histogram(data, bins=bins)
+    peak = max(1, counts.max())
+    lines = []
+    if title:
+        lines.append(title)
+    for count, lo, hi in zip(counts, edges, edges[1:]):
+        bar = "#" * int(round(width * count / peak))
+        lines.append(f"[{lo:9.3g}, {hi:9.3g}) {count:>6d} {bar}")
+    return "\n".join(lines)

@@ -1,0 +1,85 @@
+"""Markdown rendering for experiment results.
+
+``python -m repro.experiments all --full --report results.md`` uses these
+to persist a batch of :class:`ExperimentResult` objects as a readable
+report — the generated appendix of ``EXPERIMENTS.md``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from repro.experiments.common import ExperimentResult
+
+__all__ = ["render_result_markdown", "write_report"]
+
+
+def _render_cell(cell) -> str:
+    if isinstance(cell, bool):
+        return "yes" if cell else "no"
+    if isinstance(cell, float):
+        return f"{cell:.4g}"
+    return str(cell)
+
+
+def _markdown_table(header: Sequence[str], rows: Sequence[Sequence]) -> str:
+    lines = ["| " + " | ".join(header) + " |"]
+    lines.append("|" + "|".join("---" for _ in header) + "|")
+    for row in rows:
+        lines.append("| " + " | ".join(_render_cell(cell) for cell in row) + " |")
+    return "\n".join(lines)
+
+
+def render_result_markdown(result: ExperimentResult, heading_level: int = 2) -> str:
+    """One experiment as a markdown section (table, checks, notes)."""
+    hashes = "#" * max(1, heading_level)
+    lines = [f"{hashes} {result.experiment_id} — {result.title}", ""]
+    lines.append(_markdown_table(result.header, result.rows))
+    lines.append("")
+    if result.checks:
+        lines.append("**Shape checks**")
+        lines.append("")
+        for name, ok in sorted(result.checks.items()):
+            lines.append(f"- `{name}`: {'PASS' if ok else '**FAIL**'}")
+        lines.append("")
+    if result.notes:
+        lines.append("**Notes**")
+        lines.append("")
+        for note in result.notes:
+            lines.append(f"- {note}")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def write_report(
+    results: Iterable[ExperimentResult],
+    path: str,
+    title: str = "Experiment report",
+    preamble: Optional[str] = None,
+) -> str:
+    """Write a batch of results to ``path`` as one markdown document.
+
+    Returns the rendered text (also useful for tests). A summary scoreboard
+    precedes the per-experiment sections.
+    """
+    results = list(results)
+    lines = [f"# {title}", ""]
+    if preamble:
+        lines.append(preamble)
+        lines.append("")
+    lines.append("| experiment | title | checks | verdict |")
+    lines.append("|---|---|---|---|")
+    for result in results:
+        verdict = "PASS" if result.passed else "**FAIL**"
+        lines.append(
+            f"| {result.experiment_id} | {result.title} "
+            f"| {len(result.checks)} | {verdict} |"
+        )
+    lines.append("")
+    for result in results:
+        lines.append(render_result_markdown(result))
+        lines.append("")
+    text = "\n".join(lines)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)
+    return text

@@ -1,0 +1,131 @@
+"""Vectorised fast path for the paper's algorithm on the SINR channel.
+
+The generic engine treats every node as an opaque state machine — the
+right abstraction for heterogeneous protocols, but O(n) Python work per
+round. The paper's algorithm has no per-node state beyond active/inactive
+and a constant probability, so a whole execution collapses into numpy:
+
+* coin flips: one ``rng.random(n_active)`` per round;
+* reception: the same gain-matrix reductions the channel uses;
+* knockout: a boolean mask update.
+
+``fast_fixed_probability_run`` is behaviourally equivalent to running
+``FixedProbabilityProtocol`` through :class:`repro.sim.engine.Simulation`
+(the test suite checks distributional agreement), just 1–2 orders of
+magnitude faster for large ``n``. Use it for scaling studies; use the
+generic engine when you need traces, observers, mixed protocols,
+activation schedules, or radio channels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.sinr.channel import SINRChannel
+
+__all__ = ["FastRunResult", "fast_fixed_probability_run"]
+
+
+@dataclass(frozen=True)
+class FastRunResult:
+    """Outcome of one vectorised execution.
+
+    ``solved_round`` is 0-based (``None`` if the budget ran out);
+    ``active_counts[t]`` is the number of active nodes at the start of
+    round ``t``.
+    """
+
+    n: int
+    solved_round: Optional[int]
+    rounds_executed: int
+    active_counts: List[int]
+
+    @property
+    def solved(self) -> bool:
+        return self.solved_round is not None
+
+    @property
+    def rounds_to_solve(self) -> Optional[int]:
+        if self.solved_round is None:
+            return None
+        return self.solved_round + 1
+
+
+def fast_fixed_probability_run(
+    channel: SINRChannel,
+    p: float,
+    rng: np.random.Generator,
+    max_rounds: int = 100_000,
+) -> FastRunResult:
+    """Run the paper's algorithm to the first solo round, vectorised.
+
+    Restrictions (by design): deterministic gain model, no external
+    sources with ``duty_cycle < 1`` (continuous jammers are folded into a
+    static interference vector), simultaneous activation.
+    """
+    if not 0.0 < p <= 1.0:
+        raise ValueError(f"broadcast probability must be in (0, 1] (got {p})")
+    if max_rounds < 1:
+        raise ValueError(f"max_rounds must be positive (got {max_rounds})")
+    if not channel.gain_model.is_deterministic:
+        raise ValueError(
+            "the fast path supports the deterministic gain model only; "
+            "use the generic engine for fading channels"
+        )
+    if any(not s.is_continuous for s in channel.external_sources):
+        raise ValueError(
+            "the fast path supports continuous external sources only"
+        )
+
+    gains = channel.base_gains
+    params = channel.params
+    n = channel.n
+    if channel.external_sources:
+        static_external = channel._external_gains.sum(axis=0)
+    else:
+        static_external = np.zeros(n)
+
+    active = np.ones(n, dtype=bool)
+    active_counts: List[int] = []
+
+    for round_index in range(max_rounds):
+        active_ids = np.flatnonzero(active)
+        if active_ids.size == 0:
+            return FastRunResult(
+                n=n,
+                solved_round=None,
+                rounds_executed=round_index,
+                active_counts=active_counts,
+            )
+        active_counts.append(int(active_ids.size))
+
+        coins = rng.random(active_ids.size) < p
+        tx = active_ids[coins]
+        if tx.size == 1:
+            return FastRunResult(
+                n=n,
+                solved_round=round_index,
+                rounds_executed=round_index + 1,
+                active_counts=active_counts,
+            )
+        if tx.size == 0:
+            continue
+
+        listeners = active_ids[~coins]
+        if listeners.size == 0:
+            continue
+        rows = gains[tx][:, listeners]
+        totals = rows.sum(axis=0) + static_external[listeners]
+        best = rows.max(axis=0)
+        decoded = best >= params.beta * (params.noise + totals - best)
+        active[listeners[decoded]] = False
+
+    return FastRunResult(
+        n=n,
+        solved_round=None,
+        rounds_executed=max_rounds,
+        active_counts=active_counts,
+    )

@@ -1,0 +1,151 @@
+"""Multi-trial experiment runner.
+
+Every quantitative claim in the paper is "with high probability", so a
+single execution proves nothing — experiments repeat executions over
+independently seeded trials and summarise the distribution of solving
+rounds. :func:`run_trials` is the one entry point all experiments and
+benchmarks share.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.protocols.base import ProtocolFactory
+from repro.sim.engine import Simulation
+from repro.sim.seeding import SeedLike, spawn_generators
+from repro.sim.trace import ExecutionTrace
+
+__all__ = ["TrialStats", "run_trials", "high_probability_budget"]
+
+#: Builds a fresh channel for one trial. Receives the trial's generator so
+#: stochastic deployments are resampled per trial; deterministic workloads
+#: may ignore it and return a shared channel.
+ChannelFactory = Callable[[np.random.Generator], object]
+
+
+@dataclass
+class TrialStats:
+    """Distribution summary of solving rounds over a batch of trials.
+
+    ``rounds`` holds the per-trial solving round counts (1-based) for the
+    trials that solved; ``failures`` counts trials that exhausted the round
+    budget. Summary statistics are over the solved trials only and are
+    ``nan`` when nothing solved.
+    """
+
+    protocol_name: str
+    trials: int
+    rounds: List[int]
+    failures: int
+    traces: Optional[List[ExecutionTrace]] = None
+
+    @property
+    def solve_rate(self) -> float:
+        """Fraction of trials that solved within the budget."""
+        if self.trials == 0:
+            return float("nan")
+        return len(self.rounds) / self.trials
+
+    @property
+    def mean_rounds(self) -> float:
+        return float(np.mean(self.rounds)) if self.rounds else float("nan")
+
+    @property
+    def median_rounds(self) -> float:
+        return float(np.median(self.rounds)) if self.rounds else float("nan")
+
+    @property
+    def max_rounds(self) -> float:
+        return float(np.max(self.rounds)) if self.rounds else float("nan")
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-th percentile of solving rounds (``q`` in [0, 100])."""
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile q must be in [0, 100] (got {q})")
+        return float(np.percentile(self.rounds, q)) if self.rounds else float("nan")
+
+    @property
+    def stddev_rounds(self) -> float:
+        if len(self.rounds) < 2:
+            return float("nan")
+        return float(np.std(self.rounds, ddof=1))
+
+    def summary(self) -> str:
+        """One printable line — the row format the benchmark tables use."""
+        if not self.rounds:
+            return f"{self.protocol_name:<28} FAILED all {self.trials} trials"
+        return (
+            f"{self.protocol_name:<28} trials={self.trials:<4d} "
+            f"mean={self.mean_rounds:8.1f} median={self.median_rounds:8.1f} "
+            f"p95={self.percentile(95):8.1f} max={self.max_rounds:8.0f} "
+            f"solve_rate={self.solve_rate:.3f}"
+        )
+
+
+def run_trials(
+    channel_factory: ChannelFactory,
+    protocol: ProtocolFactory,
+    trials: int,
+    seed: SeedLike = 0,
+    max_rounds: int = 100_000,
+    keep_traces: bool = False,
+) -> TrialStats:
+    """Run ``trials`` independent executions and summarise them.
+
+    Each trial spawns two independent generators from ``(seed, trial)`` —
+    one for the channel factory (deployment sampling, fading) and one for
+    the protocol's coin flips — so deployment randomness and protocol
+    randomness can be varied independently in ablations.
+    """
+    if trials < 1:
+        raise ValueError(f"trials must be positive (got {trials})")
+    rounds: List[int] = []
+    failures = 0
+    traces: List[ExecutionTrace] = [] if keep_traces else None
+
+    generators = spawn_generators(seed, 2 * trials)
+    for trial in range(trials):
+        deploy_rng = generators[2 * trial]
+        protocol_rng = generators[2 * trial + 1]
+        channel = channel_factory(deploy_rng)
+        nodes = protocol.build(channel.n)
+        simulation = Simulation(
+            channel,
+            nodes,
+            rng=protocol_rng,
+            max_rounds=max_rounds,
+            keep_records=keep_traces,
+            protocol_name=protocol.name,
+        )
+        trace = simulation.run()
+        if trace.solved:
+            rounds.append(trace.rounds_to_solve)
+        else:
+            failures += 1
+        if keep_traces:
+            traces.append(trace)
+
+    return TrialStats(
+        protocol_name=protocol.name,
+        trials=trials,
+        rounds=rounds,
+        failures=failures,
+        traces=traces,
+    )
+
+
+def high_probability_budget(n: int, slack: float = 50.0) -> int:
+    """A generous round budget for w.h.p. experiments on ``n`` nodes.
+
+    ``slack * log2(n)^2`` comfortably covers every protocol in the library
+    (the slowest well-behaved baseline is ``Theta(log^2 n)``), while still
+    failing fast when a protocol genuinely stalls.
+    """
+    if n < 1:
+        raise ValueError(f"n must be positive (got {n})")
+    return max(64, int(slack * max(1.0, math.log2(max(n, 2))) ** 2))

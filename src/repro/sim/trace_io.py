@@ -1,0 +1,94 @@
+"""Trace persistence: save and load executions as JSON.
+
+Golden-trace regression testing and cross-machine debugging both need
+executions on disk. The format mirrors :class:`ExecutionTrace` directly:
+
+.. code-block:: json
+
+    {
+        "format": "repro-trace",
+        "version": 1,
+        "n": 4,
+        "protocol_name": "simple(p=0.1)",
+        "solved_round": 2,
+        "rounds_executed": 3,
+        "records": [
+            {"index": 0, "transmitters": [1, 3], "receptions": {"0": 1},
+             "active_before": [0, 1, 2, 3], "knocked_out": [0]}
+        ]
+    }
+
+JSON objects key by strings, so reception maps are round-tripped through
+``str(listener)`` and restored to ints on load.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.sim.trace import ExecutionTrace, RoundRecord
+
+__all__ = ["save_trace", "load_trace"]
+
+_FORMAT_NAME = "repro-trace"
+_FORMAT_VERSION = 1
+
+PathLike = Union[str, Path]
+
+
+def save_trace(trace: ExecutionTrace, path: PathLike) -> None:
+    """Write a trace (including all round records) as JSON."""
+    document = {
+        "format": _FORMAT_NAME,
+        "version": _FORMAT_VERSION,
+        "n": trace.n,
+        "protocol_name": trace.protocol_name,
+        "solved_round": trace.solved_round,
+        "rounds_executed": trace.rounds_executed,
+        "records": [
+            {
+                "index": record.index,
+                "transmitters": list(record.transmitters),
+                "receptions": {str(k): v for k, v in record.receptions.items()},
+                "active_before": list(record.active_before),
+                "knocked_out": list(record.knocked_out),
+            }
+            for record in trace.records
+        ],
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2)
+        handle.write("\n")
+
+
+def load_trace(path: PathLike) -> ExecutionTrace:
+    """Read a trace written by :func:`save_trace`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    if not isinstance(document, dict) or document.get("format") != _FORMAT_NAME:
+        raise ValueError(f"{path}: not a {_FORMAT_NAME} file")
+    if document.get("version") != _FORMAT_VERSION:
+        raise ValueError(
+            f"{path}: unsupported version {document.get('version')!r}"
+        )
+    trace = ExecutionTrace(
+        n=int(document["n"]),
+        protocol_name=str(document["protocol_name"]),
+        solved_round=document["solved_round"],
+        rounds_executed=int(document["rounds_executed"]),
+    )
+    for raw in document.get("records", []):
+        trace.records.append(
+            RoundRecord(
+                index=int(raw["index"]),
+                transmitters=tuple(int(t) for t in raw["transmitters"]),
+                receptions={
+                    int(k): int(v) for k, v in raw["receptions"].items()
+                },
+                active_before=tuple(int(a) for a in raw["active_before"]),
+                knocked_out=tuple(int(k) for k in raw["knocked_out"]),
+            )
+        )
+    return trace

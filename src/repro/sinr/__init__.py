@@ -1,0 +1,58 @@
+"""SINR (physical / fading) channel substrate.
+
+This subpackage implements the communication model from Section 2 of the
+paper: nodes deployed in the two-dimensional Euclidean plane, a fixed
+transmission power ``P``, and reception governed by the signal to
+interference and noise ratio (SINR) equation
+
+    SINR(u, v, I) = (P / d(u, v)^alpha)
+                    / (N + sum_{w in I} P / d(w, v)^alpha)  >=  beta,
+
+where ``alpha > 2`` is the path-loss exponent, ``beta`` the reception
+threshold, ``N >= 0`` the ambient noise, and ``I`` the set of concurrent
+interferers.
+
+Modules
+-------
+``parameters``
+    :class:`SINRParameters` — validated model constants and derived
+    quantities (communication range, single-hop power sizing).
+``geometry``
+    Vectorised planar geometry: pairwise distances, balls, exponential
+    annuli, greedy circle packings.
+``channel``
+    :class:`SINRChannel` — the deterministic path-loss channel with a
+    precomputed gain matrix and per-round reception resolution.
+``fading``
+    :class:`RayleighFading` and :class:`DeterministicGain` — per-round
+    stochastic gain models layered on top of the path-loss channel.
+"""
+
+from repro.sinr.channel import ReceptionReport, SINRChannel
+from repro.sinr.fading import DeterministicGain, GainModel, RayleighFading
+from repro.sinr.jamming import ExternalSource, external_gain_matrix
+from repro.sinr.geometry import (
+    annulus_counts,
+    exponential_annulus,
+    nearest_neighbor_distances,
+    pairwise_distances,
+    points_in_ball,
+)
+from repro.sinr.parameters import SINRParameters, single_hop_power
+
+__all__ = [
+    "DeterministicGain",
+    "ExternalSource",
+    "GainModel",
+    "RayleighFading",
+    "ReceptionReport",
+    "SINRChannel",
+    "SINRParameters",
+    "annulus_counts",
+    "exponential_annulus",
+    "external_gain_matrix",
+    "nearest_neighbor_distances",
+    "pairwise_distances",
+    "points_in_ball",
+    "single_hop_power",
+]

@@ -1,0 +1,250 @@
+"""The SINR channel: per-round reception resolution (Equation 1).
+
+Given a deployment (fixed positions) the channel precomputes the gain
+matrix ``G[i, j] = P / d(i, j)^alpha`` once. Resolving one round is then a
+handful of vectorised reductions:
+
+* total arriving power at each listener: ``tot = G[T].sum(axis=0)``
+* strongest arriving signal at each listener: ``best = G[T].max(axis=0)``
+* listener ``v`` receives the strongest transmitter ``u`` iff
+  ``G[u, v] / (noise + tot_v - G[u, v]) >= beta``.
+
+Because the SINR of a candidate transmitter is monotone increasing in its
+arriving signal (each transmitter's own power is excluded from its
+interference term), the strongest arriving signal clears the threshold iff
+any signal does — for every ``beta``. The channel decodes the strongest
+clearing signal (the capture effect), so resolving a round needs only the
+per-listener argmax. When ``beta >= 1`` that decode is additionally unique.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.sinr.fading import DeterministicGain, GainModel
+from repro.sinr.geometry import as_positions, pairwise_distances
+from repro.sinr.jamming import ExternalSource, external_gain_matrix
+from repro.sinr.parameters import SINRParameters
+
+__all__ = ["ReceptionReport", "SINRChannel"]
+
+
+@dataclass(frozen=True)
+class ReceptionReport:
+    """Outcome of one round on the channel.
+
+    Attributes
+    ----------
+    transmitters:
+        Sorted node indices that transmitted this round.
+    received_from:
+        Mapping ``listener -> transmitter`` for every listener that decoded
+        a message this round. Transmitting nodes never appear as keys: a
+        node cannot transmit and listen in the same round (Section 2).
+    energy:
+        Mapping ``listener -> total arriving signal power`` (the sum over
+        all transmitters; noise excluded). This is what a carrier-sensing
+        radio measures; protocols that do not sense energy simply ignore
+        it. Empty when nobody transmitted.
+    """
+
+    transmitters: tuple
+    received_from: Dict[int, int] = field(default_factory=dict)
+    energy: Dict[int, float] = field(default_factory=dict)
+
+    @property
+    def is_solo(self) -> bool:
+        """Whether exactly one node transmitted (the success condition)."""
+        return len(self.transmitters) == 1
+
+    def heard_by(self, listener: int) -> Optional[int]:
+        """The transmitter decoded by ``listener``, or ``None``."""
+        return self.received_from.get(listener)
+
+
+class SINRChannel:
+    """Single-hop SINR channel over a fixed deployment.
+
+    Parameters
+    ----------
+    positions:
+        ``(n, 2)`` planar coordinates of the nodes.
+    params:
+        The SINR model constants. If ``auto_power`` is true (default) the
+        transmission power is raised, if necessary, to satisfy the paper's
+        single-hop assumption for this deployment's diameter.
+    gain_model:
+        Optional stochastic fading layer (default: deterministic path loss).
+    auto_power:
+        Size the power to the deployment per Section 2. Disable to study
+        deliberately under-powered (multi-hop) deployments.
+    external_sources:
+        Uncontrolled transmitters (jammers, co-channel systems) whose
+        arriving power is added to every listener's interference and
+        measured energy when they are on the air — see
+        :mod:`repro.sinr.jamming`. Sources with ``duty_cycle < 1`` require
+        an ``rng`` at resolve time.
+    """
+
+    #: The SINR channel reports per-listener energy (carrier sensing); the
+    #: engine consults this flag when a protocol declares
+    #: ``requires_energy_sensing``.
+    provides_energy = True
+
+    def __init__(
+        self,
+        positions,
+        params: SINRParameters = SINRParameters(),
+        gain_model: Optional[GainModel] = None,
+        auto_power: bool = True,
+        external_sources: Optional[Sequence[ExternalSource]] = None,
+    ) -> None:
+        self.positions = as_positions(positions)
+        self.n = self.positions.shape[0]
+        if self.n < 1:
+            raise ValueError("a channel needs at least one node")
+        self.distances = pairwise_distances(self.positions)
+        if self.n >= 2:
+            off_diagonal = self.distances[~np.eye(self.n, dtype=bool)]
+            if np.any(off_diagonal == 0.0):
+                raise ValueError("co-located nodes are not allowed (zero-length link)")
+            diameter = float(self.distances.max())
+            if auto_power and not params.satisfies_single_hop(max(diameter, 1e-300)):
+                params = params.sized_for(diameter)
+        self.params = params
+        self.gain_model = gain_model if gain_model is not None else DeterministicGain()
+        # G[i, j]: power arriving at j when i transmits. Self-reception is
+        # meaningless; zeroing the diagonal keeps every reduction clean.
+        with np.errstate(divide="ignore"):
+            self._base_gains = params.power / self.distances**params.alpha
+        np.fill_diagonal(self._base_gains, 0.0)
+        self.external_sources = tuple(external_sources or ())
+        self._external_gains = external_gain_matrix(
+            self.external_sources, self.positions, params.alpha
+        )
+
+    @property
+    def base_gains(self) -> np.ndarray:
+        """The deterministic gain matrix (read-only view)."""
+        view = self._base_gains.view()
+        view.flags.writeable = False
+        return view
+
+    def resolve(
+        self,
+        transmitters: Sequence[int],
+        rng: Optional[np.random.Generator] = None,
+        listeners: Optional[Sequence[int]] = None,
+    ) -> ReceptionReport:
+        """Resolve one synchronous round.
+
+        Parameters
+        ----------
+        transmitters:
+            Indices of nodes transmitting this round (duplicates ignored).
+        rng:
+            Required when the gain model is stochastic.
+        listeners:
+            Indices allowed to receive; defaults to every non-transmitter.
+            Passing an explicit subset models deactivated nodes that have
+            stopped listening (the paper's algorithm does not need them to
+            keep listening once knocked out).
+
+        Returns
+        -------
+        ReceptionReport
+        """
+        tx = np.unique(np.asarray(list(transmitters), dtype=np.intp))
+        if tx.size and (tx.min() < 0 or tx.max() >= self.n):
+            raise IndexError("transmitter index out of range")
+        if listeners is None:
+            listen_mask = np.ones(self.n, dtype=bool)
+        else:
+            listen_mask = np.zeros(self.n, dtype=bool)
+            listen_mask[np.asarray(list(listeners), dtype=np.intp)] = True
+        listen_mask[tx] = False
+
+        if not listen_mask.any():
+            return ReceptionReport(transmitters=tuple(int(i) for i in tx))
+        if tx.size == 0:
+            # Nothing to decode; listeners may still sense external energy.
+            external = self._external_interference(listen_mask, rng)
+            energy = {
+                int(node): float(value)
+                for node, value in zip(np.flatnonzero(listen_mask), external)
+                if value > 0.0
+            }
+            return ReceptionReport(transmitters=(), energy=energy)
+
+        if self.gain_model.is_deterministic:
+            gains = self._base_gains
+        else:
+            if rng is None:
+                raise ValueError("a stochastic gain model requires an rng")
+            gains = self.gain_model.round_gains(self._base_gains, rng)
+
+        rows = gains[tx][:, listen_mask]  # (|T|, |L|) power at each listener
+        external = self._external_interference(listen_mask, rng)
+        totals = rows.sum(axis=0) + external
+        listener_ids = np.flatnonzero(listen_mask)
+        received: Dict[int, int] = {}
+
+        # SINR_i = s_i / (noise + tot - s_i) is monotone increasing in the
+        # arriving signal s_i, so the strongest transmitter clears the
+        # threshold iff any transmitter does — for every beta. With capture
+        # (decode the strongest signal that clears), checking the argmax is
+        # therefore exhaustive. External interference sits in the
+        # denominator alongside the other transmitters.
+        best_rows = rows.argmax(axis=0)
+        best = rows[best_rows, np.arange(rows.shape[1])]
+        interference = totals - best
+        ok = best >= self.params.beta * (self.params.noise + interference)
+        for col in np.flatnonzero(ok):
+            received[int(listener_ids[col])] = int(tx[best_rows[col]])
+        energy = {
+            int(listener_ids[col]): float(totals[col])
+            for col in range(listener_ids.size)
+        }
+        return ReceptionReport(
+            transmitters=tuple(int(i) for i in tx),
+            received_from=received,
+            energy=energy,
+        )
+
+    def _external_interference(
+        self, listen_mask: np.ndarray, rng: Optional[np.random.Generator]
+    ) -> np.ndarray:
+        """Arriving external power per listener for one round."""
+        num_listeners = int(listen_mask.sum())
+        if not self.external_sources:
+            return np.zeros(num_listeners)
+        duty_cycles = np.asarray([s.duty_cycle for s in self.external_sources])
+        if np.all(duty_cycles >= 1.0):
+            on_air = np.ones(len(self.external_sources), dtype=bool)
+        else:
+            if rng is None:
+                raise ValueError(
+                    "external sources with duty_cycle < 1 require an rng"
+                )
+            on_air = rng.random(len(self.external_sources)) < duty_cycles
+        if not on_air.any():
+            return np.zeros(num_listeners)
+        return self._external_gains[on_air][:, listen_mask].sum(axis=0)
+
+    def sinr(self, sender: int, receiver: int, interferers: Sequence[int]) -> float:
+        """Point SINR of Equation 1 for explicit sets — used by tests."""
+        if sender == receiver:
+            raise ValueError("sender and receiver must differ")
+        others = [w for w in interferers if w not in (sender, receiver)]
+        signal = self._base_gains[sender, receiver]
+        interference = float(self._base_gains[others, receiver].sum()) if others else 0.0
+        return self.params.sinr(signal, interference)
+
+    def __repr__(self) -> str:
+        return (
+            f"SINRChannel(n={self.n}, params={self.params!r}, "
+            f"gain_model={self.gain_model!r})"
+        )

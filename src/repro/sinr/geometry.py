@@ -1,0 +1,204 @@
+"""Vectorised planar geometry used throughout the analysis.
+
+The paper's arguments are geometric: link classes are defined by
+nearest-neighbor distances, good nodes by the population of *exponential
+annuli* ``A^i_t(u) = B(u, 2^{t+1} * 2^i) \\ B(u, 2^t * 2^i)`` (Section 3.2),
+and the well-separated subsets ``S_i`` by greedy circle packing (Lemma 2).
+This module provides those primitives as numpy operations over an
+``(n, 2)`` position array.
+
+All functions treat positions as immutable float64 arrays; none of them
+mutate their inputs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+__all__ = [
+    "pairwise_distances",
+    "nearest_neighbor_distances",
+    "points_in_ball",
+    "exponential_annulus",
+    "annulus_counts",
+    "greedy_separated_subset",
+    "deployment_diameter",
+    "link_length_extremes",
+    "as_positions",
+]
+
+
+def as_positions(points: Iterable[Sequence[float]]) -> np.ndarray:
+    """Coerce an iterable of 2-D points into a validated ``(n, 2)`` array."""
+    positions = np.asarray(points, dtype=np.float64)
+    if positions.ndim != 2 or positions.shape[1] != 2:
+        raise ValueError(
+            f"positions must form an (n, 2) array of planar points, got shape {positions.shape}"
+        )
+    if not np.all(np.isfinite(positions)):
+        raise ValueError("positions must be finite")
+    return positions
+
+
+def pairwise_distances(positions: np.ndarray) -> np.ndarray:
+    """Full symmetric ``(n, n)`` Euclidean distance matrix.
+
+    The diagonal is exactly zero. This is the only O(n^2)-memory object in
+    the library; channels compute it once per deployment and reuse it.
+    """
+    positions = as_positions(positions)
+    deltas = positions[:, None, :] - positions[None, :, :]
+    distances = np.sqrt(np.einsum("ijk,ijk->ij", deltas, deltas))
+    np.fill_diagonal(distances, 0.0)
+    return distances
+
+
+def nearest_neighbor_distances(
+    distances: np.ndarray, active: Optional[np.ndarray] = None
+) -> np.ndarray:
+    """Distance from each active node to its nearest *other* active node.
+
+    Parameters
+    ----------
+    distances:
+        Precomputed ``(n, n)`` distance matrix.
+    active:
+        Optional boolean mask of length ``n``. Inactive nodes receive
+        ``inf`` and are ignored as potential neighbors — this matches the
+        paper's link classes, which are defined over *active* nodes only
+        (Section 3.1).
+
+    Returns
+    -------
+    numpy.ndarray
+        Length-``n`` array; entry ``i`` is ``inf`` when node ``i`` is
+        inactive or has no other active node (the "last node standing" is
+        in no link class).
+    """
+    n = distances.shape[0]
+    if active is None:
+        active = np.ones(n, dtype=bool)
+    masked = np.where(active[None, :], distances, np.inf).astype(np.float64, copy=True)
+    np.fill_diagonal(masked, np.inf)
+    result = np.full(n, np.inf)
+    if active.any():
+        result[active] = masked[active].min(axis=1)
+    return result
+
+
+def points_in_ball(
+    distances: np.ndarray,
+    center: int,
+    radius: float,
+    active: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Indices of active nodes strictly within ``radius`` of node ``center``.
+
+    Matches the paper's ``B(u, d)`` — the set of active nodes within
+    distance ``d`` of ``u``. The center itself is included when active,
+    mirroring the set definition; callers that need the punctured ball
+    drop it explicitly.
+    """
+    n = distances.shape[0]
+    if active is None:
+        active = np.ones(n, dtype=bool)
+    within = (distances[center] < radius) & active
+    return np.flatnonzero(within)
+
+
+def exponential_annulus(
+    distances: np.ndarray,
+    center: int,
+    class_index: int,
+    t: int,
+    active: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """The paper's exponential annulus ``A^i_t(u)`` as node indices.
+
+    ``A^i_t(u) = B(u, 2^{t+1} * 2^i) \\ B(u, 2^t * 2^i)``: active nodes at
+    distance ``d`` with ``2^t * 2^i <= d < 2^{t+1} * 2^i`` from ``u``.
+    """
+    n = distances.shape[0]
+    if active is None:
+        active = np.ones(n, dtype=bool)
+    inner = float(2.0 ** (t + class_index))
+    outer = float(2.0 ** (t + 1 + class_index))
+    row = distances[center]
+    within = (row >= inner) & (row < outer) & active
+    within[center] = False
+    return np.flatnonzero(within)
+
+
+def annulus_counts(
+    distances: np.ndarray,
+    center: int,
+    class_index: int,
+    max_t: int,
+    active: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Population of every annulus ``A^i_t(u)`` for ``t = 0 .. max_t``.
+
+    Vectorised over ``t``: bins the distance row once instead of issuing
+    ``max_t`` ball queries. Used by the Definition 1 good-node test, which
+    inspects every annulus up to ``t = log R``.
+    """
+    n = distances.shape[0]
+    if active is None:
+        active = np.ones(n, dtype=bool)
+    if max_t < 0:
+        return np.zeros(0, dtype=np.int64)
+    row = distances[center]
+    mask = active.copy()
+    mask[center] = False
+    relevant = row[mask]
+    # Annulus t covers [2^(t+i), 2^(t+1+i)); a distance d lands in
+    # t = floor(log2(d)) - i when that value is within [0, max_t].
+    edges = 2.0 ** (class_index + np.arange(max_t + 2, dtype=np.float64))
+    counts, _ = np.histogram(relevant, bins=edges)
+    return counts.astype(np.int64)
+
+
+def greedy_separated_subset(
+    distances: np.ndarray,
+    candidates: Sequence[int],
+    separation: float,
+) -> List[int]:
+    """Greedy maximal subset of ``candidates`` pairwise farther than ``separation``.
+
+    This is the standard packing construction behind Lemma 2: scanning the
+    candidates in order and keeping each one that is more than
+    ``separation`` away from everything kept so far yields a maximal
+    separated subset whose size is a constant fraction of the maximum.
+
+    Returns the kept indices in scan order.
+    """
+    if separation < 0.0:
+        raise ValueError(f"separation must be non-negative (got {separation})")
+    kept: List[int] = []
+    for candidate in candidates:
+        row = distances[candidate]
+        if all(row[other] > separation for other in kept):
+            kept.append(int(candidate))
+    return kept
+
+
+def deployment_diameter(distances: np.ndarray) -> float:
+    """Longest link in the deployment (the paper's ``R`` numerator)."""
+    if distances.shape[0] < 2:
+        return 0.0
+    return float(distances.max())
+
+
+def link_length_extremes(distances: np.ndarray) -> tuple:
+    """``(shortest, longest)`` link lengths over all node pairs.
+
+    The paper normalises the shortest link to 1 and calls the longest
+    ``R``; :func:`repro.deploy.metrics.link_ratio` builds on this.
+    """
+    n = distances.shape[0]
+    if n < 2:
+        return (0.0, 0.0)
+    upper = distances[np.triu_indices(n, k=1)]
+    return (float(upper.min()), float(upper.max()))

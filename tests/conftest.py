@@ -1,0 +1,50 @@
+"""Shared fixtures for the test suite.
+
+Every test that needs randomness takes the ``rng`` fixture (or spawns its
+own from an explicit seed) so the suite is fully deterministic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.deploy.topologies import grid, uniform_disk
+from repro.sinr.channel import SINRChannel
+from repro.sinr.geometry import pairwise_distances
+from repro.sinr.parameters import SINRParameters
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A fresh deterministic generator per test."""
+    return np.random.default_rng(np.random.SeedSequence(12345))
+
+
+@pytest.fixture
+def params() -> SINRParameters:
+    """Default model constants (alpha=3, beta=1.5, N=1, P=1 pre-sizing)."""
+    return SINRParameters()
+
+
+@pytest.fixture
+def small_positions(rng) -> np.ndarray:
+    """A 24-node uniform-disk deployment."""
+    return uniform_disk(24, rng)
+
+
+@pytest.fixture
+def small_channel(small_positions, params) -> SINRChannel:
+    """SINR channel over the 24-node deployment, power auto-sized."""
+    return SINRChannel(small_positions, params=params)
+
+
+@pytest.fixture
+def grid_positions() -> np.ndarray:
+    """A deterministic 5x5 grid with unit spacing."""
+    return grid(25)
+
+
+@pytest.fixture
+def grid_distances(grid_positions) -> np.ndarray:
+    return pairwise_distances(grid_positions)

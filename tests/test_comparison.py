@@ -1,0 +1,121 @@
+"""Tests for rank-based distribution comparison."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.comparison import (
+    cliffs_delta,
+    compare_round_counts,
+    mann_whitney_u,
+)
+
+scipy_stats = pytest.importorskip("scipy.stats")
+
+
+class TestMannWhitney:
+    def test_identical_samples_not_significant(self):
+        sample = [1, 2, 3, 4, 5] * 10
+        _, p = mann_whitney_u(sample, list(sample))
+        assert p > 0.9
+
+    def test_separated_samples_significant(self, rng):
+        a = rng.normal(0.0, 1.0, size=60)
+        b = rng.normal(5.0, 1.0, size=60)
+        _, p = mann_whitney_u(a, b)
+        assert p < 1e-6
+
+    def test_matches_scipy_on_clean_data(self, rng):
+        a = rng.normal(0.0, 1.0, size=40)
+        b = rng.normal(0.7, 1.0, size=45)
+        _, ours = mann_whitney_u(a, b)
+        reference = scipy_stats.mannwhitneyu(a, b, alternative="two-sided")
+        assert ours == pytest.approx(reference.pvalue, rel=0.1)
+
+    def test_matches_scipy_with_ties(self, rng):
+        a = rng.integers(1, 8, size=50).astype(float)
+        b = rng.integers(3, 10, size=50).astype(float)
+        _, ours = mann_whitney_u(a, b)
+        reference = scipy_stats.mannwhitneyu(a, b, alternative="two-sided")
+        assert ours == pytest.approx(reference.pvalue, rel=0.15, abs=1e-4)
+
+    def test_u_statistic_count_interpretation(self):
+        # a = [10], b = [1, 2]: a exceeds both -> U_a = 2.
+        u, _ = mann_whitney_u([10], [1, 2])
+        assert u == pytest.approx(2.0)
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            mann_whitney_u([], [1.0])
+
+    def test_degenerate_all_equal(self):
+        _, p = mann_whitney_u([3, 3, 3], [3, 3])
+        assert p == 1.0
+
+
+class TestCliffsDelta:
+    def test_complete_separation(self):
+        assert cliffs_delta([1, 2], [5, 6]) == -1.0
+        assert cliffs_delta([5, 6], [1, 2]) == 1.0
+
+    def test_identical_distributions_near_zero(self, rng):
+        a = rng.normal(size=100)
+        b = rng.normal(size=100)
+        assert abs(cliffs_delta(a, b)) < 0.2
+
+    def test_ties_contribute_zero(self):
+        assert cliffs_delta([1, 1], [1, 1]) == 0.0
+
+    def test_antisymmetric(self, rng):
+        a = rng.normal(0, 1, size=30)
+        b = rng.normal(1, 1, size=25)
+        assert cliffs_delta(a, b) == pytest.approx(-cliffs_delta(b, a))
+
+
+class TestCompareRoundCounts:
+    def test_faster_sample_wins(self, rng):
+        fast = rng.geometric(0.5, size=80)
+        slow = rng.geometric(0.05, size=80)
+        result = compare_round_counts(fast, slow)
+        assert result.winner == "a"
+        assert result.p_value < 0.01
+        assert result.effect_magnitude == "large"
+
+    def test_tie_on_same_distribution(self, rng):
+        a = rng.geometric(0.3, size=50)
+        b = rng.geometric(0.3, size=50)
+        result = compare_round_counts(a, b, alpha=0.001)
+        assert result.winner in ("tie", "a", "b")  # usually tie; never crash
+        # With alpha this small and same distribution, a win is rare.
+
+    def test_alpha_validation(self):
+        with pytest.raises(ValueError, match="alpha"):
+            compare_round_counts([1], [2], alpha=0.0)
+
+    def test_str_mentions_verdict(self, rng):
+        result = compare_round_counts([1, 1, 2], [9, 9, 9])
+        assert "winner=" in str(result)
+        assert "delta=" in str(result)
+
+    def test_real_protocol_comparison(self):
+        """The E3 headline with significance attached: simple-on-SINR beats
+        decay-on-radio at n = 64 with a large effect."""
+        from repro.deploy.topologies import uniform_disk
+        from repro.protocols.decay import DecayProtocol
+        from repro.protocols.simple import FixedProbabilityProtocol
+        from repro.radio.channel import RadioChannel
+        from repro.sim.runner import run_trials
+        from repro.sinr.channel import SINRChannel
+
+        n = 64
+        simple = run_trials(
+            lambda rng: SINRChannel(uniform_disk(n, rng)),
+            FixedProbabilityProtocol(p=0.1),
+            trials=40,
+            seed=71,
+        )
+        decay = run_trials(
+            lambda rng: RadioChannel(n), DecayProtocol(), trials=40, seed=72
+        )
+        result = compare_round_counts(simple.rounds, decay.rounds)
+        assert result.winner == "a"
+        assert result.effect_magnitude in ("medium", "large")

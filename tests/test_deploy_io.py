@@ -1,0 +1,118 @@
+"""Unit tests for deployment persistence."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.deploy.io import load_deployment, save_deployment
+from repro.deploy.topologies import grid, uniform_disk
+
+
+class TestRoundTrip:
+    def test_positions_preserved_exactly(self, tmp_path, rng):
+        original = uniform_disk(20, rng)
+        path = tmp_path / "deploy.json"
+        save_deployment(original, path)
+        loaded, metadata = load_deployment(path)
+        assert np.array_equal(original, loaded)
+        assert metadata == {}
+
+    def test_metadata_round_trip(self, tmp_path):
+        path = tmp_path / "deploy.json"
+        save_deployment(grid(4), path, metadata={"generator": "grid", "seed": 7})
+        _, metadata = load_deployment(path)
+        assert metadata == {"generator": "grid", "seed": 7}
+
+    def test_accepts_string_paths(self, tmp_path):
+        path = str(tmp_path / "deploy.json")
+        save_deployment(grid(4), path)
+        loaded, _ = load_deployment(path)
+        assert loaded.shape == (4, 2)
+
+
+class TestValidation:
+    def test_rejects_non_deployment_json(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text(json.dumps({"hello": "world"}))
+        with pytest.raises(ValueError, match="not a repro-deployment"):
+            load_deployment(path)
+
+    def test_rejects_wrong_version(self, tmp_path):
+        path = tmp_path / "old.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "format": "repro-deployment",
+                    "version": 99,
+                    "n": 1,
+                    "positions": [[0.0, 0.0]],
+                }
+            )
+        )
+        with pytest.raises(ValueError, match="version"):
+            load_deployment(path)
+
+    def test_rejects_count_mismatch(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "format": "repro-deployment",
+                    "version": 1,
+                    "n": 3,
+                    "positions": [[0.0, 0.0]],
+                }
+            )
+        )
+        with pytest.raises(ValueError, match="declared n=3"):
+            load_deployment(path)
+
+    def test_rejects_bad_positions(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "format": "repro-deployment",
+                    "version": 1,
+                    "n": 1,
+                    "positions": [[0.0, 0.0, 0.0]],
+                }
+            )
+        )
+        with pytest.raises(ValueError, match="positions"):
+            load_deployment(path)
+
+    def test_rejects_non_dict_metadata(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "format": "repro-deployment",
+                    "version": 1,
+                    "n": 1,
+                    "positions": [[0.0, 0.0]],
+                    "metadata": [1, 2],
+                }
+            )
+        )
+        with pytest.raises(ValueError, match="metadata"):
+            load_deployment(path)
+
+
+class TestUsableAfterLoad:
+    def test_loaded_deployment_drives_a_channel(self, tmp_path, rng):
+        from repro.protocols.simple import FixedProbabilityProtocol
+        from repro.sim.engine import Simulation
+        from repro.sim.seeding import generator_from
+        from repro.sinr.channel import SINRChannel
+
+        path = tmp_path / "deploy.json"
+        save_deployment(uniform_disk(16, rng), path)
+        positions, _ = load_deployment(path)
+        channel = SINRChannel(positions)
+        nodes = FixedProbabilityProtocol(p=0.1).build(channel.n)
+        trace = Simulation(
+            channel, nodes, rng=generator_from(3), max_rounds=5_000
+        ).run()
+        assert trace.solved

@@ -1,0 +1,101 @@
+"""Tests for the Theorem 2 embedding (two players in a large network)."""
+
+import numpy as np
+import pytest
+
+from repro.deploy.topologies import uniform_disk
+from repro.hitting.embedding import (
+    embedded_two_player_trial,
+    embedded_two_player_trials,
+)
+from repro.hitting.two_player import two_player_trials
+from repro.protocols.simple import FixedProbabilityProtocol
+from repro.sim.seeding import generator_from
+from repro.sinr.channel import SINRChannel
+
+
+@pytest.fixture
+def big_channel(rng):
+    return SINRChannel(uniform_disk(40, rng))
+
+
+class TestMechanics:
+    def test_only_the_pair_participates(self, big_channel):
+        outcome = embedded_two_player_trial(
+            FixedProbabilityProtocol(p=0.5),
+            big_channel,
+            pair=(3, 17),
+            rng=generator_from(1),
+        )
+        assert outcome.won
+        assert outcome.active_pair == (3, 17)
+
+    def test_pair_validation(self, big_channel):
+        with pytest.raises(ValueError, match="distinct"):
+            embedded_two_player_trial(
+                FixedProbabilityProtocol(), big_channel, (4, 4), generator_from(0)
+            )
+        with pytest.raises(IndexError):
+            embedded_two_player_trial(
+                FixedProbabilityProtocol(), big_channel, (0, 99), generator_from(0)
+            )
+
+    def test_trials_validation(self, big_channel):
+        with pytest.raises(ValueError, match="trials"):
+            embedded_two_player_trials(
+                FixedProbabilityProtocol(), big_channel, trials=0
+            )
+
+    def test_trials_are_deterministic(self, big_channel):
+        a = embedded_two_player_trials(
+            FixedProbabilityProtocol(p=0.5), big_channel, trials=10, seed=9
+        )
+        b = embedded_two_player_trials(
+            FixedProbabilityProtocol(p=0.5), big_channel, trials=10, seed=9
+        )
+        assert [o.rounds for o in a] == [o.rounds for o in b]
+
+
+class TestFadingIrrelevance:
+    def test_embedded_matches_pure_two_player_distribution(self, big_channel):
+        """'With only two nodes there is no opportunity for spatial reuse.'
+
+        The embedded game (2 active nodes on a 40-node SINR deployment)
+        must match the pure two-player collision game statistically: both
+        are geometric with success probability 2 p (1 - p).
+        """
+        trials = 600
+        embedded = embedded_two_player_trials(
+            FixedProbabilityProtocol(p=0.5), big_channel, trials=trials, seed=31
+        )
+        pure = two_player_trials(
+            FixedProbabilityProtocol(p=0.5), trials=trials, seed=32
+        )
+        embedded_mean = np.mean([o.rounds for o in embedded])
+        pure_mean = np.mean([o.rounds for o in pure])
+        # Both geometric(1/2): mean 2; allow generous sampling slack.
+        assert embedded_mean == pytest.approx(pure_mean, rel=0.15)
+        assert embedded_mean == pytest.approx(2.0, rel=0.15)
+
+    def test_embedded_round_is_solo_of_the_pair(self, big_channel):
+        # An embedded win means one of the pair transmitted alone; the
+        # sleeping 38 nodes can never transmit.
+        outcome = embedded_two_player_trial(
+            FixedProbabilityProtocol(p=0.5),
+            big_channel,
+            pair=(0, 1),
+            rng=generator_from(7),
+        )
+        assert outcome.won
+
+    def test_lower_bound_floor_transfers_to_embedded_setting(self, big_channel):
+        # Combined with Lemma 14 (tested in test_reduction.py), the
+        # embedding means full-network CR inherits Omega(log n); here we
+        # check the embedded game cannot be won with certainty in round 1
+        # (symmetric players fail with probability >= 1/2).
+        trials = 400
+        outcomes = embedded_two_player_trials(
+            FixedProbabilityProtocol(p=0.5), big_channel, trials=trials, seed=33
+        )
+        first_round_wins = sum(1 for o in outcomes if o.rounds == 1)
+        assert first_round_wins / trials == pytest.approx(0.5, abs=0.08)

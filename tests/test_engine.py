@@ -1,0 +1,234 @@
+"""Unit and integration tests for the simulation engine."""
+
+import numpy as np
+import pytest
+
+from repro.protocols.base import Action, NodeProtocol
+from repro.protocols.simple import FixedProbabilityProtocol
+from repro.radio.channel import RadioChannel
+from repro.sim.engine import Simulation
+from repro.sim.seeding import generator_from
+from repro.sinr.channel import SINRChannel
+
+
+class _ScheduledNode(NodeProtocol):
+    """Transmits exactly on the rounds listed in ``schedule``."""
+
+    def __init__(self, node_id, schedule):
+        super().__init__(node_id)
+        self.schedule = set(schedule)
+
+    def decide(self, round_index, rng):
+        if round_index in self.schedule:
+            return Action.TRANSMIT
+        return Action.LISTEN
+
+
+class TestTermination:
+    def test_stops_at_first_solo_round(self):
+        # Round 0: both transmit (collision). Round 1: only node 0.
+        channel = RadioChannel(2)
+        nodes = [_ScheduledNode(0, {0, 1}), _ScheduledNode(1, {0})]
+        trace = Simulation(channel, nodes, rng=generator_from(0), max_rounds=10).run()
+        assert trace.solved_round == 1
+        assert trace.rounds_to_solve == 2
+        assert trace.rounds_executed == 2
+
+    def test_solo_in_round_zero(self):
+        channel = RadioChannel(3)
+        nodes = [
+            _ScheduledNode(0, {0}),
+            _ScheduledNode(1, set()),
+            _ScheduledNode(2, set()),
+        ]
+        trace = Simulation(channel, nodes, rng=generator_from(0)).run()
+        assert trace.solved_round == 0
+
+    def test_budget_exhaustion_reports_unsolved(self):
+        channel = RadioChannel(2)
+        nodes = [_ScheduledNode(0, set(range(10))), _ScheduledNode(1, set(range(10)))]
+        trace = Simulation(channel, nodes, rng=generator_from(0), max_rounds=5).run()
+        assert not trace.solved
+        assert trace.rounds_to_solve is None
+        assert trace.rounds_executed == 5
+
+    def test_single_node_network(self):
+        # n = 1: the first round it transmits is a solo round.
+        channel = RadioChannel(1)
+        nodes = [_ScheduledNode(0, {2})]
+        trace = Simulation(channel, nodes, rng=generator_from(0), max_rounds=10).run()
+        assert trace.solved_round == 2
+
+    def test_all_inactive_stops_cleanly(self):
+        channel = RadioChannel(2)
+        nodes = [_ScheduledNode(0, set()), _ScheduledNode(1, set())]
+        for node in nodes:
+            node._active = False
+        trace = Simulation(channel, nodes, rng=generator_from(0), max_rounds=10).run()
+        assert not trace.solved
+        assert trace.rounds_executed == 0
+
+
+class TestValidation:
+    def test_node_count_mismatch(self):
+        channel = RadioChannel(3)
+        nodes = FixedProbabilityProtocol().build(2)
+        with pytest.raises(ValueError, match="node count"):
+            Simulation(channel, nodes, rng=generator_from(0))
+
+    def test_max_rounds_positive(self):
+        channel = RadioChannel(2)
+        nodes = FixedProbabilityProtocol().build(2)
+        with pytest.raises(ValueError, match="max_rounds"):
+            Simulation(channel, nodes, rng=generator_from(0), max_rounds=0)
+
+
+class TestRecords:
+    def test_records_capture_round_structure(self):
+        channel = RadioChannel(3)
+        nodes = [
+            _ScheduledNode(0, {0, 1}),
+            _ScheduledNode(1, {0}),
+            _ScheduledNode(2, set()),
+        ]
+        trace = Simulation(channel, nodes, rng=generator_from(0), max_rounds=5).run()
+        first = trace.records[0]
+        assert first.transmitters == (0, 1)
+        assert first.active_before == (0, 1, 2)
+        assert not first.is_solo
+        second = trace.records[1]
+        assert second.transmitters == (0,)
+        assert second.is_solo
+
+    def test_keep_records_false_keeps_summary_only(self):
+        channel = RadioChannel(2)
+        nodes = [_ScheduledNode(0, {1}), _ScheduledNode(1, set())]
+        trace = Simulation(
+            channel, nodes, rng=generator_from(0), max_rounds=5, keep_records=False
+        ).run()
+        assert trace.records == []
+        assert trace.solved_round == 1
+
+    def test_knockouts_recorded(self, small_channel):
+        nodes = FixedProbabilityProtocol(p=0.3).build(small_channel.n)
+        trace = Simulation(
+            small_channel, nodes, rng=generator_from(3), max_rounds=1_000
+        ).run()
+        assert trace.solved
+        # Knockouts recorded per round must match node states: every
+        # knocked-out id is inactive.
+        knocked = {i for record in trace.records for i in record.knocked_out}
+        for node_id in knocked:
+            assert not nodes[node_id].active
+
+    def test_knocked_out_nodes_never_transmit_again(self, small_channel):
+        nodes = FixedProbabilityProtocol(p=0.3).build(small_channel.n)
+        trace = Simulation(
+            small_channel, nodes, rng=generator_from(4), max_rounds=1_000
+        ).run()
+        dead = set()
+        for record in trace.records:
+            assert dead.isdisjoint(record.transmitters)
+            assert dead.isdisjoint(record.active_before)
+            dead.update(record.knocked_out)
+
+
+class TestObservers:
+    def test_observer_called_every_round(self):
+        channel = RadioChannel(2)
+        nodes = [_ScheduledNode(0, {0, 1, 2}), _ScheduledNode(1, {0, 1})]
+        calls = []
+
+        def observer(record, active_mask):
+            calls.append((record.index, active_mask.copy()))
+
+        trace = Simulation(
+            channel,
+            nodes,
+            rng=generator_from(0),
+            max_rounds=10,
+            observers=[observer],
+        ).run()
+        assert len(calls) == trace.rounds_executed
+        assert [index for index, _ in calls] == list(range(trace.rounds_executed))
+
+    def test_observer_sees_post_round_activity(self, small_channel):
+        nodes = FixedProbabilityProtocol(p=0.3).build(small_channel.n)
+        snapshots = []
+
+        def observer(record, active_mask):
+            snapshots.append((record, active_mask.copy()))
+
+        Simulation(
+            small_channel,
+            nodes,
+            rng=generator_from(9),
+            max_rounds=1_000,
+            observers=[observer],
+        ).run()
+        for record, mask in snapshots:
+            for node_id in record.knocked_out:
+                assert not mask[node_id]
+
+
+class TestFeedbackContract:
+    def test_transmitters_learn_nothing(self):
+        received = []
+
+        class Probe(NodeProtocol):
+            def decide(self, round_index, rng):
+                return Action.TRANSMIT
+
+            def on_feedback(self, round_index, feedback):
+                received.append(feedback)
+
+        channel = RadioChannel(2)
+        nodes = [Probe(0), Probe(1)]
+        Simulation(channel, nodes, rng=generator_from(0), max_rounds=3).run()
+        for feedback in received:
+            assert feedback.transmitted
+            assert feedback.received is None
+            assert feedback.observation is None
+
+    def test_sinr_listener_gets_sender_id(self):
+        positions = [(0.0, 0.0), (1.0, 0.0)]
+        channel = SINRChannel(positions)
+        nodes = [_ScheduledNode(0, {0}), _ScheduledNode(1, set())]
+        heard = []
+
+        class Listener(_ScheduledNode):
+            def on_feedback(self, round_index, feedback):
+                heard.append(feedback.received)
+
+        nodes[1] = Listener(1, set())
+        Simulation(channel, nodes, rng=generator_from(0), max_rounds=1).run()
+        assert heard == [0]
+
+
+class TestEndToEnd:
+    def test_simple_protocol_solves_sinr(self, small_channel):
+        nodes = FixedProbabilityProtocol(p=0.1).build(small_channel.n)
+        trace = Simulation(
+            small_channel, nodes, rng=generator_from(11), max_rounds=5_000
+        ).run()
+        assert trace.solved
+
+    def test_deterministic_replay(self, small_positions):
+        results = []
+        for _ in range(2):
+            channel = SINRChannel(small_positions)
+            nodes = FixedProbabilityProtocol(p=0.1).build(channel.n)
+            trace = Simulation(
+                channel, nodes, rng=generator_from(123), max_rounds=5_000
+            ).run()
+            results.append(
+                (trace.solved_round, tuple(r.transmitters for r in trace.records))
+            )
+        assert results[0] == results[1]
+
+    def test_last_round_has_single_transmitter(self, small_channel):
+        nodes = FixedProbabilityProtocol(p=0.1).build(small_channel.n)
+        trace = Simulation(
+            small_channel, nodes, rng=generator_from(21), max_rounds=5_000
+        ).run()
+        assert len(trace.records[-1].transmitters) == 1

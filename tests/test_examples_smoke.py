@@ -1,0 +1,68 @@
+"""Smoke tests for the example scripts.
+
+Examples are user-facing deliverables; a refactor that breaks one breaks
+the README's promises. The two fastest examples run end-to-end here (the
+longer ones — warehouse, tour, jamming — exercise the same APIs with more
+trials and are covered by the library tests underneath them).
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run_example(name: str, timeout: float = 120.0):
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+
+
+class TestExampleScripts:
+    def test_all_examples_exist(self):
+        expected = {
+            "quickstart.py",
+            "warehouse_wakeup.py",
+            "link_class_dynamics.py",
+            "lower_bound_game.py",
+            "unknown_network_conditions.py",
+            "jammed_band.py",
+            "paper_tour.py",
+        }
+        present = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+        assert expected <= present
+
+    def test_quickstart_runs_and_solves(self):
+        result = _run_example("quickstart.py")
+        assert result.returncode == 0, result.stderr
+        assert "solved in" in result.stdout
+        assert "solo transmission" in result.stdout
+
+    def test_link_class_dynamics_runs(self):
+        result = _run_example("link_class_dynamics.py")
+        assert result.returncode == 0, result.stderr
+        assert "schedule step achieved" in result.stdout
+        assert "solved in" in result.stdout
+
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "quickstart.py",
+            "warehouse_wakeup.py",
+            "link_class_dynamics.py",
+            "lower_bound_game.py",
+            "unknown_network_conditions.py",
+            "jammed_band.py",
+            "paper_tour.py",
+        ],
+    )
+    def test_examples_have_docstrings_and_main(self, name):
+        source = (EXAMPLES_DIR / name).read_text(encoding="utf-8")
+        assert source.lstrip().startswith('"""'), f"{name} lacks a docstring"
+        assert 'if __name__ == "__main__":' in source

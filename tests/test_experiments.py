@@ -1,0 +1,174 @@
+"""Tests for the experiments package: common infrastructure + micro runs.
+
+Each experiment is exercised with a *micro* config (far smaller than even
+its quick preset) to verify the plumbing — configs, tables, notes — without
+asserting the statistical checks, which need the quick/full presets'
+sample sizes and are exercised by the benchmark harness.
+"""
+
+import pytest
+
+from repro.experiments import REGISTRY
+from repro.experiments import (
+    e13_interference_bounds,
+    e14_carrier_sense,
+    e15_staggered_wakeup,
+    e16_jamming,
+    e17_large_scale,
+    e18_schedule_families,
+    e1_scaling_n,
+    e2_scaling_r,
+    e3_protocol_comparison,
+    e4_good_nodes,
+    e5_knockout,
+    e6_class_bounds,
+    e7_hitting_game,
+    e8_two_player,
+    e9_p_ablation,
+    e10_alpha_ablation,
+    e11_radio_anchors,
+    e12_rayleigh,
+)
+from repro.experiments.common import ExperimentResult, format_table
+
+
+class TestFormatTable:
+    def test_column_alignment(self):
+        table = format_table(["a", "long_header"], [[1, 2.5], [333, True]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert "long_header" in lines[0]
+        assert "yes" in lines[3]
+
+    def test_float_formatting(self):
+        table = format_table(["x"], [[3.14159265]])
+        assert "3.142" in table
+
+    def test_bool_rendering(self):
+        table = format_table(["ok"], [[False]])
+        assert "no" in table
+
+
+class TestExperimentResult:
+    def test_passed_requires_all_checks(self):
+        result = ExperimentResult("EX", "t", ["c"], checks={"a": True, "b": False})
+        assert not result.passed
+        result.checks["b"] = True
+        assert result.passed
+
+    def test_no_checks_is_vacuous_pass(self):
+        assert ExperimentResult("EX", "t", ["c"]).passed
+
+    def test_format_contains_sections(self):
+        result = ExperimentResult(
+            "EX",
+            "title here",
+            ["col"],
+            rows=[[1]],
+            checks={"shape": True},
+            notes=["observation"],
+        )
+        text = result.format()
+        assert "EX: title here" in text
+        assert "check shape: PASS" in text
+        assert "note: observation" in text
+
+    def test_failed_check_rendered(self):
+        result = ExperimentResult("EX", "t", ["c"], checks={"shape": False})
+        assert "FAIL" in result.format()
+
+    def test_to_csv_round_trip(self, tmp_path):
+        import csv
+
+        result = ExperimentResult(
+            "EX", "t", ["n", "mean"], rows=[[16, 3.5], [32, 7.0]]
+        )
+        path = tmp_path / "rows.csv"
+        result.to_csv(str(path))
+        with open(path, newline="") as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == ["n", "mean"]
+        assert rows[1] == ["16", "3.5"]
+        assert len(rows) == 3
+
+
+class TestRegistry:
+    def test_all_experiments_registered(self):
+        assert sorted(REGISTRY, key=lambda e: int(e[1:])) == [
+            f"E{i}" for i in range(1, 19)
+        ]
+
+    def test_modules_expose_interface(self):
+        for module in REGISTRY.values():
+            assert hasattr(module, "run")
+            assert hasattr(module, "Config")
+            assert hasattr(module, "TITLE")
+            assert hasattr(module.Config, "quick")
+            assert hasattr(module.Config, "full")
+
+
+def _micro_runs():
+    """(id, config) pairs small enough for the unit-test suite."""
+    return [
+        ("E1", e1_scaling_n.Config(sizes=[16, 32, 64], trials=4)),
+        ("E2", e2_scaling_r.Config(class_counts=[2, 4], total_nodes=16, trials=3)),
+        ("E3", e3_protocol_comparison.Config(sizes=[16, 32], trials=3, include_beb=False)),
+        ("E4", e4_good_nodes.Config(sizes=[48], deployments_per_size=1)),
+        ("E5", e5_knockout.Config(sizes=[32, 48], trials=5)),
+        ("E6", e6_class_bounds.Config(trials=1)),
+        ("E7", e7_hitting_game.Config(ks=[4, 8, 16], trials=5)),
+        (
+            "E8",
+            e8_two_player.Config(
+                budgets=[1, 2, 4], trials=60, reduction_ks=[4, 8], reduction_trials=2
+            ),
+        ),
+        ("E9", e9_p_ablation.Config(probabilities=[0.05, 0.1, 0.3], n=32, trials=4)),
+        ("E10", e10_alpha_ablation.Config(alphas=[2.5, 3.0, 4.0], n=32, trials=4)),
+        ("E11", e11_radio_anchors.Config(sizes=[16, 64, 256], trials=5)),
+        ("E12", e12_rayleigh.Config(sizes=[16, 32, 64], trials=4)),
+        ("E13", e13_interference_bounds.Config(sizes=[64], deployments_per_size=1)),
+        (
+            "E14",
+            e14_carrier_sense.Config(
+                sizes=[16, 32], chain_classes=[2, 4], chain_total=16, trials=4
+            ),
+        ),
+        (
+            "E15",
+            e15_staggered_wakeup.Config(
+                n=32, window_multipliers=[0.0, 2.0], trials=4
+            ),
+        ),
+        (
+            "E16",
+            e16_jamming.Config(
+                n=24, power_factors=[0.0, 100.0], duty_cycles=[1.0], trials=4
+            ),
+        ),
+        ("E17", e17_large_scale.Config(sizes=[64, 128, 256], trials=8)),
+        ("E18", e18_schedule_families.Config(sizes=[8, 16, 32], trials=6)),
+    ]
+
+
+@pytest.mark.parametrize("experiment_id,config", _micro_runs())
+def test_experiment_micro_run(experiment_id, config):
+    module = REGISTRY[experiment_id]
+    result = module.run(config)
+    assert result.experiment_id == experiment_id
+    assert result.rows, "experiment produced no table rows"
+    assert result.checks, "experiment produced no shape checks"
+    assert all(len(row) == len(result.header) for row in result.rows)
+    # The formatted report renders without error.
+    assert experiment_id in result.format()
+
+
+@pytest.mark.parametrize("experiment_id", sorted(REGISTRY))
+def test_experiment_micro_run_is_deterministic(experiment_id):
+    micro = dict(_micro_runs())
+    config = micro[experiment_id]
+    module = REGISTRY[experiment_id]
+    first = module.run(config)
+    second = module.run(config)
+    assert first.rows == second.rows
+    assert first.checks == second.checks

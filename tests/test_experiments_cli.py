@@ -1,0 +1,25 @@
+"""Tests for the ``python -m repro.experiments`` command-line interface."""
+
+import pytest
+
+from repro.experiments.__main__ import main
+
+
+class TestArgumentHandling:
+    def test_unknown_experiment_errors(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["E99"])
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_case_insensitive_id(self, capsys):
+        exit_code = main(["e13"])
+        out = capsys.readouterr().out
+        assert "E13" in out
+        assert exit_code == 0
+
+    def test_single_run_prints_table_and_checks(self, capsys):
+        exit_code = main(["E7"])
+        out = capsys.readouterr().out
+        assert "check" in out
+        assert "PASS" in out
+        assert exit_code == 0

@@ -1,0 +1,72 @@
+"""Unit tests for :mod:`repro.sinr.fading`."""
+
+import numpy as np
+import pytest
+
+from repro.sinr.fading import DeterministicGain, RayleighFading
+
+
+class TestDeterministicGain:
+    def test_is_deterministic(self):
+        assert DeterministicGain().is_deterministic
+
+    def test_round_gains_identity(self, rng):
+        base = np.ones((3, 3))
+        model = DeterministicGain()
+        assert model.round_gains(base, rng) is base
+
+    def test_repr(self):
+        assert repr(DeterministicGain()) == "DeterministicGain()"
+
+
+class TestRayleighFading:
+    def test_not_deterministic(self):
+        assert not RayleighFading().is_deterministic
+
+    def test_scale_must_be_positive(self):
+        with pytest.raises(ValueError, match="scale"):
+            RayleighFading(scale=0.0)
+        with pytest.raises(ValueError, match="scale"):
+            RayleighFading(scale=-1.0)
+
+    def test_gains_are_nonnegative(self, rng):
+        base = np.full((4, 4), 2.0)
+        gains = RayleighFading().round_gains(base, rng)
+        assert np.all(gains >= 0.0)
+
+    def test_base_not_mutated(self, rng):
+        base = np.full((4, 4), 2.0)
+        copy = base.copy()
+        RayleighFading().round_gains(base, rng)
+        assert np.array_equal(base, copy)
+
+    def test_unit_mean_multiplier(self, rng):
+        # E[exponential(1)] = 1, so averaged over many rounds the effective
+        # gain matches the deterministic gain.
+        base = np.full((2, 2), 3.0)
+        model = RayleighFading()
+        samples = np.stack([model.round_gains(base, rng) for _ in range(4_000)])
+        assert samples.mean() == pytest.approx(3.0, rel=0.05)
+
+    def test_scale_shifts_mean(self, rng):
+        base = np.ones((2, 2))
+        model = RayleighFading(scale=2.0)
+        samples = np.stack([model.round_gains(base, rng) for _ in range(4_000)])
+        assert samples.mean() == pytest.approx(2.0, rel=0.05)
+
+    def test_gains_vary_per_round(self, rng):
+        base = np.ones((3, 3))
+        model = RayleighFading()
+        first = model.round_gains(base, rng)
+        second = model.round_gains(base, rng)
+        assert not np.array_equal(first, second)
+
+    def test_zero_base_stays_zero(self, rng):
+        # The diagonal of the gain matrix is zero; fading must not create
+        # self-reception out of nothing.
+        base = np.zeros((3, 3))
+        gains = RayleighFading().round_gains(base, rng)
+        assert np.all(gains == 0.0)
+
+    def test_repr_mentions_scale(self):
+        assert "scale=1.5" in repr(RayleighFading(scale=1.5))

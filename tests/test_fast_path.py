@@ -1,0 +1,110 @@
+"""Tests for the vectorised fast path: restrictions + equivalence."""
+
+import numpy as np
+import pytest
+
+from repro.deploy.topologies import uniform_disk
+from repro.protocols.simple import FixedProbabilityProtocol
+from repro.sim.engine import Simulation
+from repro.sim.fast import fast_fixed_probability_run
+from repro.sim.seeding import generator_from, spawn_generators
+from repro.sinr.channel import SINRChannel
+from repro.sinr.fading import RayleighFading
+from repro.sinr.jamming import ExternalSource
+
+
+class TestRestrictions:
+    def test_rejects_fading_channel(self, rng):
+        channel = SINRChannel(uniform_disk(8, rng), gain_model=RayleighFading())
+        with pytest.raises(ValueError, match="deterministic"):
+            fast_fixed_probability_run(channel, p=0.1, rng=rng)
+
+    def test_rejects_intermittent_jammer(self, rng):
+        jammer = ExternalSource((0.5, 50.0), power=10.0, duty_cycle=0.5)
+        channel = SINRChannel(
+            [(0.0, 0.0), (1.0, 0.0)], external_sources=[jammer]
+        )
+        with pytest.raises(ValueError, match="continuous"):
+            fast_fixed_probability_run(channel, p=0.1, rng=rng)
+
+    def test_accepts_continuous_jammer(self, rng):
+        jammer = ExternalSource((0.5, 50.0), power=10.0, duty_cycle=1.0)
+        channel = SINRChannel(
+            [(0.0, 0.0), (1.0, 0.0)], external_sources=[jammer]
+        )
+        result = fast_fixed_probability_run(channel, p=0.5, rng=rng)
+        assert result.solved
+
+    def test_parameter_validation(self, small_channel, rng):
+        with pytest.raises(ValueError, match="probability"):
+            fast_fixed_probability_run(small_channel, p=0.0, rng=rng)
+        with pytest.raises(ValueError, match="max_rounds"):
+            fast_fixed_probability_run(small_channel, p=0.1, rng=rng, max_rounds=0)
+
+
+class TestBehaviour:
+    def test_solves_and_reports_rounds(self, small_channel, rng):
+        result = fast_fixed_probability_run(small_channel, p=0.1, rng=rng)
+        assert result.solved
+        assert result.rounds_to_solve == result.solved_round + 1
+        assert len(result.active_counts) == result.rounds_executed
+
+    def test_active_counts_monotone(self, small_channel, rng):
+        result = fast_fixed_probability_run(small_channel, p=0.1, rng=rng)
+        counts = result.active_counts
+        assert all(a >= b for a, b in zip(counts, counts[1:]))
+
+    def test_budget_exhaustion(self, rng):
+        # p = 1 on two nodes can never produce a solo round.
+        channel = SINRChannel([(0.0, 0.0), (1.0, 0.0)])
+        result = fast_fixed_probability_run(channel, p=1.0, rng=rng, max_rounds=20)
+        assert not result.solved
+        assert result.rounds_executed == 20
+
+    def test_single_node(self, rng):
+        channel = SINRChannel([(0.0, 0.0)])
+        result = fast_fixed_probability_run(channel, p=0.5, rng=rng)
+        assert result.solved
+
+    def test_deterministic_under_seed(self, small_positions):
+        channel = SINRChannel(small_positions)
+        a = fast_fixed_probability_run(channel, p=0.1, rng=generator_from(5))
+        b = fast_fixed_probability_run(channel, p=0.1, rng=generator_from(5))
+        assert a.solved_round == b.solved_round
+        assert a.active_counts == b.active_counts
+
+
+class TestEquivalenceWithGenericEngine:
+    def test_distributions_agree(self):
+        """Fast path and generic engine must produce the same statistics.
+
+        The two consume randomness differently, so traces differ per seed;
+        agreement is distributional: matched trial counts, means within a
+        few combined standard errors.
+        """
+        n, trials, p = 48, 60, 0.1
+        fast_rounds = []
+        slow_rounds = []
+        generators = spawn_generators(77, 3 * trials)
+        for trial in range(trials):
+            deploy_rng = generators[3 * trial]
+            fast_rng = generators[3 * trial + 1]
+            slow_rng = generators[3 * trial + 2]
+            positions = uniform_disk(n, deploy_rng)
+            channel = SINRChannel(positions)
+
+            fast = fast_fixed_probability_run(channel, p, fast_rng, max_rounds=20_000)
+            fast_rounds.append(fast.rounds_to_solve)
+
+            nodes = FixedProbabilityProtocol(p).build(n)
+            trace = Simulation(
+                channel, nodes, rng=slow_rng, max_rounds=20_000, keep_records=False
+            ).run()
+            slow_rounds.append(trace.rounds_to_solve)
+
+        fast_mean = np.mean(fast_rounds)
+        slow_mean = np.mean(slow_rounds)
+        pooled_se = np.sqrt(
+            np.var(fast_rounds, ddof=1) / trials + np.var(slow_rounds, ddof=1) / trials
+        )
+        assert abs(fast_mean - slow_mean) < 4 * pooled_se + 0.5

@@ -1,0 +1,113 @@
+"""Unit tests for scaling-law fitting."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.fits import (
+    SCALING_LAWS,
+    best_fit,
+    fit_models,
+    fit_scaling_law,
+)
+
+
+def _sizes():
+    return [16, 32, 64, 128, 256, 512, 1024]
+
+
+class TestExactRecovery:
+    def test_log_law_recovers_coefficients(self):
+        sizes = _sizes()
+        values = [3.0 * math.log2(n) + 2.0 for n in sizes]
+        fit = fit_scaling_law(sizes, values, "log")
+        assert fit.slope == pytest.approx(3.0)
+        assert fit.intercept == pytest.approx(2.0)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_log2_law_recovers_coefficients(self):
+        sizes = _sizes()
+        values = [0.5 * math.log2(n) ** 2 - 1.0 for n in sizes]
+        fit = fit_scaling_law(sizes, values, "log2")
+        assert fit.slope == pytest.approx(0.5)
+        assert fit.intercept == pytest.approx(-1.0)
+
+    def test_linear_law(self):
+        sizes = _sizes()
+        values = [2.0 * n + 5.0 for n in sizes]
+        fit = fit_scaling_law(sizes, values, "linear")
+        assert fit.slope == pytest.approx(2.0)
+
+    def test_constant_law(self):
+        fit = fit_scaling_law(_sizes(), [7.0] * 7, "constant")
+        assert fit.intercept == pytest.approx(7.0)
+        assert fit.slope == 0.0
+
+
+class TestModelSelection:
+    def test_log_data_selects_log(self, rng):
+        sizes = _sizes()
+        values = [3.0 * math.log2(n) + rng.normal(0, 0.1) for n in sizes]
+        assert best_fit(sizes, values, laws=("log", "log2")).law == "log"
+
+    def test_log2_data_selects_log2(self, rng):
+        sizes = _sizes()
+        values = [0.4 * math.log2(n) ** 2 + rng.normal(0, 0.1) for n in sizes]
+        assert best_fit(sizes, values, laws=("log", "log2")).law == "log2"
+
+    def test_linear_data_selects_linear(self, rng):
+        sizes = _sizes()
+        values = [0.1 * n + rng.normal(0, 0.5) for n in sizes]
+        assert (
+            best_fit(sizes, values, laws=("log", "linear")).law == "linear"
+        )
+
+    def test_log2_over_loglog_between_log_and_log2(self):
+        sizes = _sizes()
+        x = SCALING_LAWS["log2_over_loglog"](np.asarray(sizes, dtype=float))
+        logs = np.log2(np.asarray(sizes, dtype=float))
+        assert np.all(x >= logs - 1e-9)
+        assert np.all(x <= logs**2 + 1e-9)
+
+    def test_fit_models_returns_all_requested(self):
+        sizes = _sizes()
+        values = [math.log2(n) for n in sizes]
+        fits = fit_models(sizes, values, laws=("log", "log2", "linear"))
+        assert set(fits) == {"log", "log2", "linear"}
+
+
+class TestPredict:
+    def test_predict_matches_formula(self):
+        sizes = _sizes()
+        values = [2.0 * math.log2(n) + 1.0 for n in sizes]
+        fit = fit_scaling_law(sizes, values, "log")
+        assert fit.predict([256])[0] == pytest.approx(2.0 * 8 + 1.0)
+
+    def test_constant_predict(self):
+        fit = fit_scaling_law(_sizes(), [3.0] * 7, "constant")
+        assert np.all(fit.predict([10, 100]) == 3.0)
+
+
+class TestValidation:
+    def test_needs_three_points(self):
+        with pytest.raises(ValueError, match="3 points"):
+            fit_scaling_law([2, 4], [1.0, 2.0], "log")
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError, match="equal length"):
+            fit_scaling_law([2, 4, 8], [1.0, 2.0], "log")
+
+    def test_sizes_below_two_rejected(self):
+        with pytest.raises(ValueError, match=">= 2"):
+            fit_scaling_law([1, 2, 4], [1.0, 2.0, 3.0], "log")
+
+    def test_unknown_law(self):
+        with pytest.raises(KeyError, match="unknown law"):
+            fit_scaling_law([2, 4, 8], [1.0, 2.0, 3.0], "cubic")
+
+    def test_str_is_informative(self):
+        fit = fit_scaling_law(_sizes(), [math.log2(n) for n in _sizes()], "log")
+        text = str(fit)
+        assert "log" in text
+        assert "R^2" in text

@@ -1,0 +1,219 @@
+"""Unit tests for :mod:`repro.sinr.geometry`."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.sinr.geometry import (
+    annulus_counts,
+    as_positions,
+    deployment_diameter,
+    exponential_annulus,
+    greedy_separated_subset,
+    link_length_extremes,
+    nearest_neighbor_distances,
+    pairwise_distances,
+    points_in_ball,
+)
+
+
+class TestAsPositions:
+    def test_accepts_lists(self):
+        positions = as_positions([(0, 0), (1, 1)])
+        assert positions.shape == (2, 2)
+        assert positions.dtype == np.float64
+
+    def test_rejects_wrong_shape(self):
+        with pytest.raises(ValueError, match="positions"):
+            as_positions([1.0, 2.0, 3.0])
+
+    def test_rejects_3d_points(self):
+        with pytest.raises(ValueError, match="positions"):
+            as_positions([(0, 0, 0), (1, 1, 1)])
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="finite"):
+            as_positions([(0.0, float("nan")), (1.0, 1.0)])
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValueError, match="finite"):
+            as_positions([(0.0, float("inf")), (1.0, 1.0)])
+
+
+class TestPairwiseDistances:
+    def test_known_triangle(self):
+        distances = pairwise_distances([(0, 0), (3, 0), (0, 4)])
+        assert distances[0, 1] == pytest.approx(3.0)
+        assert distances[0, 2] == pytest.approx(4.0)
+        assert distances[1, 2] == pytest.approx(5.0)
+
+    def test_symmetric(self, small_positions):
+        distances = pairwise_distances(small_positions)
+        assert np.allclose(distances, distances.T)
+
+    def test_zero_diagonal(self, small_positions):
+        distances = pairwise_distances(small_positions)
+        assert np.all(np.diag(distances) == 0.0)
+
+    def test_nonnegative(self, small_positions):
+        assert np.all(pairwise_distances(small_positions) >= 0.0)
+
+    def test_single_point(self):
+        distances = pairwise_distances([(5.0, 5.0)])
+        assert distances.shape == (1, 1)
+        assert distances[0, 0] == 0.0
+
+    def test_triangle_inequality(self, small_positions):
+        d = pairwise_distances(small_positions)
+        n = d.shape[0]
+        for i in range(0, n, 5):
+            for j in range(0, n, 5):
+                for k in range(0, n, 5):
+                    assert d[i, j] <= d[i, k] + d[k, j] + 1e-9
+
+
+class TestNearestNeighbor:
+    def test_line_of_three(self):
+        distances = pairwise_distances([(0, 0), (1, 0), (10, 0)])
+        nearest = nearest_neighbor_distances(distances)
+        assert nearest[0] == pytest.approx(1.0)
+        assert nearest[1] == pytest.approx(1.0)
+        assert nearest[2] == pytest.approx(9.0)
+
+    def test_inactive_nodes_excluded_as_neighbors(self):
+        distances = pairwise_distances([(0, 0), (1, 0), (10, 0)])
+        active = np.array([True, False, True])
+        nearest = nearest_neighbor_distances(distances, active)
+        assert nearest[0] == pytest.approx(10.0)
+        assert math.isinf(nearest[1])  # inactive node gets inf
+        assert nearest[2] == pytest.approx(10.0)
+
+    def test_single_active_node_has_no_neighbor(self):
+        distances = pairwise_distances([(0, 0), (1, 0)])
+        active = np.array([True, False])
+        nearest = nearest_neighbor_distances(distances, active)
+        assert math.isinf(nearest[0])
+
+    def test_all_inactive(self):
+        distances = pairwise_distances([(0, 0), (1, 0)])
+        nearest = nearest_neighbor_distances(distances, np.array([False, False]))
+        assert np.all(np.isinf(nearest))
+
+    def test_does_not_mutate_input(self):
+        distances = pairwise_distances([(0, 0), (1, 0), (2, 0)])
+        copy = distances.copy()
+        nearest_neighbor_distances(distances)
+        assert np.array_equal(distances, copy)
+
+    def test_grid_nearest_is_spacing(self, grid_distances):
+        nearest = nearest_neighbor_distances(grid_distances)
+        assert np.allclose(nearest, 1.0)
+
+
+class TestBallsAndAnnuli:
+    def test_points_in_ball_strict_radius(self):
+        distances = pairwise_distances([(0, 0), (1, 0), (2, 0)])
+        inside = points_in_ball(distances, center=0, radius=1.5)
+        assert set(inside) == {0, 1}
+
+    def test_points_in_ball_excludes_inactive(self):
+        distances = pairwise_distances([(0, 0), (1, 0), (2, 0)])
+        active = np.array([True, False, True])
+        inside = points_in_ball(distances, center=0, radius=3.0, active=active)
+        assert set(inside) == {0, 2}
+
+    def test_annulus_bounds_inclusive_exclusive(self):
+        # Nodes at distances 1, 2, 3.9, 4 from center; annulus A^0_1 covers
+        # [2, 4).
+        distances = pairwise_distances(
+            [(0, 0), (1, 0), (2, 0), (3.9, 0), (4, 0)]
+        )
+        members = exponential_annulus(distances, center=0, class_index=0, t=1)
+        assert set(members) == {2, 3}
+
+    def test_annulus_scales_with_class_index(self):
+        # Same geometry, class index 1: A^1_0 covers [2, 4).
+        distances = pairwise_distances(
+            [(0, 0), (1, 0), (2, 0), (3.9, 0), (4, 0)]
+        )
+        members = exponential_annulus(distances, center=0, class_index=1, t=0)
+        assert set(members) == {2, 3}
+
+    def test_annulus_excludes_center(self):
+        distances = pairwise_distances([(0, 0), (1, 0)])
+        members = exponential_annulus(distances, center=0, class_index=0, t=0)
+        assert 0 not in members
+
+    def test_annulus_counts_match_individual_annuli(self, grid_distances):
+        center = 12  # middle of the 5x5 grid
+        counts = annulus_counts(grid_distances, center, class_index=0, max_t=3)
+        for t in range(4):
+            members = exponential_annulus(grid_distances, center, 0, t)
+            assert counts[t] == len(members)
+
+    def test_annulus_counts_cover_all_other_nodes(self, grid_distances):
+        # With max_t large enough, every other node is in exactly one bin.
+        counts = annulus_counts(grid_distances, 0, class_index=0, max_t=10)
+        assert counts.sum() == grid_distances.shape[0] - 1
+
+    def test_annulus_counts_negative_max_t(self, grid_distances):
+        assert annulus_counts(grid_distances, 0, 0, max_t=-1).size == 0
+
+
+class TestGreedySeparatedSubset:
+    def test_keeps_far_apart_points(self):
+        distances = pairwise_distances([(0, 0), (10, 0), (20, 0)])
+        kept = greedy_separated_subset(distances, [0, 1, 2], separation=5.0)
+        assert kept == [0, 1, 2]
+
+    def test_drops_close_points(self):
+        distances = pairwise_distances([(0, 0), (1, 0), (20, 0)])
+        kept = greedy_separated_subset(distances, [0, 1, 2], separation=5.0)
+        assert kept == [0, 2]
+
+    def test_separation_is_strict(self):
+        distances = pairwise_distances([(0, 0), (5, 0)])
+        kept = greedy_separated_subset(distances, [0, 1], separation=5.0)
+        assert kept == [0]  # exactly 5 apart is not "> separation"
+
+    def test_result_is_pairwise_separated(self, grid_distances):
+        kept = greedy_separated_subset(grid_distances, list(range(25)), separation=2.0)
+        for i in kept:
+            for j in kept:
+                if i != j:
+                    assert grid_distances[i, j] > 2.0
+
+    def test_result_is_maximal(self, grid_distances):
+        # No dropped candidate could be added back.
+        kept = greedy_separated_subset(grid_distances, list(range(25)), separation=2.0)
+        for candidate in range(25):
+            if candidate in kept:
+                continue
+            assert any(grid_distances[candidate, j] <= 2.0 for j in kept)
+
+    def test_negative_separation_rejected(self, grid_distances):
+        with pytest.raises(ValueError, match="separation"):
+            greedy_separated_subset(grid_distances, [0], separation=-1.0)
+
+    def test_zero_separation_keeps_everything(self, grid_distances):
+        kept = greedy_separated_subset(grid_distances, list(range(25)), separation=0.0)
+        assert kept == list(range(25))
+
+
+class TestExtremes:
+    def test_diameter(self):
+        distances = pairwise_distances([(0, 0), (3, 4), (1, 0)])
+        assert deployment_diameter(distances) == pytest.approx(5.0)
+
+    def test_diameter_single_node(self):
+        assert deployment_diameter(pairwise_distances([(0, 0)])) == 0.0
+
+    def test_link_extremes(self):
+        distances = pairwise_distances([(0, 0), (1, 0), (10, 0)])
+        shortest, longest = link_length_extremes(distances)
+        assert shortest == pytest.approx(1.0)
+        assert longest == pytest.approx(10.0)
+
+    def test_link_extremes_single_node(self):
+        assert link_length_extremes(pairwise_distances([(0, 0)])) == (0.0, 0.0)

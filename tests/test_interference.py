@@ -1,0 +1,132 @@
+"""Unit tests for the Lemma 3/4 interference accounting."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.interference import (
+    claim1_bound,
+    claim1_constant,
+    geometric_series_constant,
+    interference_at,
+    interference_generated_by,
+    lemma4_bound,
+    lemma4_constant,
+    lemma4_separation,
+    total_interference_on_set,
+)
+from repro.sinr.channel import SINRChannel
+from repro.sinr.parameters import SINRParameters
+
+
+class TestConstants:
+    def test_geometric_constant_for_alpha_three(self):
+        # epsilon = 0.5: 1 / (1 - 2^-0.5).
+        expected = 1.0 / (1.0 - 2.0**-0.5)
+        assert geometric_series_constant(3.0) == pytest.approx(expected)
+
+    def test_geometric_constant_shrinks_with_alpha(self):
+        assert geometric_series_constant(4.0) < geometric_series_constant(2.5)
+
+    def test_geometric_constant_diverges_toward_two(self):
+        assert geometric_series_constant(2.05) > geometric_series_constant(2.5) * 5
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError, match="alpha"):
+            geometric_series_constant(2.0)
+
+    def test_claim1_constant_is_96_times_series(self):
+        assert claim1_constant(3.0) == pytest.approx(
+            96.0 * geometric_series_constant(3.0)
+        )
+
+
+class TestLemma4TradeOff:
+    def test_separation_and_constant_are_inverses(self):
+        for alpha in (2.5, 3.0, 4.0):
+            for c in (0.1, 1.0, 50.0):
+                s = lemma4_separation(alpha, c)
+                assert lemma4_constant(alpha, s) == pytest.approx(c)
+
+    def test_smaller_c_needs_larger_s(self):
+        assert lemma4_separation(3.0, 0.01) > lemma4_separation(3.0, 1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            lemma4_separation(3.0, 0.0)
+        with pytest.raises(ValueError):
+            lemma4_constant(3.0, 0.0)
+        with pytest.raises(ValueError):
+            lemma4_separation(2.0, 1.0)
+
+
+class TestBounds:
+    def test_claim1_bound_scales_linearly_in_set_size(self):
+        params = SINRParameters()
+        one = claim1_bound(params, 0, 1)
+        ten = claim1_bound(params, 0, 10)
+        assert ten == pytest.approx(10 * one)
+
+    def test_claim1_bound_decays_with_class_index(self):
+        params = SINRParameters(alpha=3.0)
+        assert claim1_bound(params, 2, 1) == pytest.approx(
+            claim1_bound(params, 0, 1) / 2.0 ** (2 * 3.0)
+        )
+
+    def test_claim1_bound_validation(self):
+        with pytest.raises(ValueError, match="set_size"):
+            claim1_bound(SINRParameters(), 0, -1)
+
+    def test_lemma4_bound_formula(self):
+        params = SINRParameters(power=8.0, alpha=3.0)
+        assert lemma4_bound(params, 1, c=2.0) == pytest.approx(
+            2.0 * 8.0 / 2.0**3
+        )
+
+    def test_lemma4_bound_validation(self):
+        with pytest.raises(ValueError, match="c"):
+            lemma4_bound(SINRParameters(), 0, c=0.0)
+
+
+class TestMeasurement:
+    @pytest.fixture
+    def gains(self):
+        channel = SINRChannel(
+            [(0.0, 0.0), (1.0, 0.0), (3.0, 0.0)],
+            params=SINRParameters(power=1.0, noise=0.0),
+            auto_power=False,
+        )
+        return channel.base_gains
+
+    def test_interference_at_sums_sources(self, gains):
+        measured = interference_at(gains, 0, [1, 2])
+        assert measured == pytest.approx(gains[1, 0] + gains[2, 0])
+
+    def test_interference_excludes_self(self, gains):
+        assert interference_at(gains, 0, [0, 1]) == pytest.approx(gains[1, 0])
+
+    def test_interference_empty_sources(self, gains):
+        assert interference_at(gains, 0, []) == 0.0
+
+    def test_total_on_set_sums_members(self, gains):
+        total = total_interference_on_set(gains, [0, 1], [2])
+        assert total == pytest.approx(gains[2, 0] + gains[2, 1])
+
+    def test_members_do_not_self_interfere(self, gains):
+        total = total_interference_on_set(gains, [0, 1], [0, 1])
+        assert total == pytest.approx(gains[1, 0] + gains[0, 1])
+
+    def test_generated_by_is_row_sum(self, gains):
+        generated = interference_generated_by(gains, 2, [0, 1])
+        assert generated == pytest.approx(gains[2, 0] + gains[2, 1])
+
+    def test_generated_by_excludes_self_target(self, gains):
+        assert interference_generated_by(gains, 0, [0]) == 0.0
+
+    def test_duality_of_at_and_generated(self, gains):
+        # Sum over members of interference_at == sum over sources of
+        # interference_generated_by (both count each (source, member) pair
+        # once).
+        members, sources = [0, 1], [2]
+        lhs = total_interference_on_set(gains, members, sources)
+        rhs = sum(interference_generated_by(gains, s, members) for s in sources)
+        assert lhs == pytest.approx(rhs)

@@ -1,0 +1,168 @@
+"""Unit tests for the Section 3.1 link-class partition."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.linkclasses import LinkClassTracker, link_class_partition
+from repro.deploy.topologies import exponential_chain, grid
+from repro.protocols.simple import FixedProbabilityProtocol
+from repro.sim.engine import Simulation
+from repro.sim.seeding import generator_from
+from repro.sinr.channel import SINRChannel
+from repro.sinr.geometry import pairwise_distances
+
+
+class TestPartitionBasics:
+    def test_grid_is_one_class(self, grid_distances):
+        partition = link_class_partition(grid_distances)
+        assert partition.occupied == (0,)
+        assert partition.size(0) == 25
+
+    def test_chain_occupies_ladder(self):
+        positions = exponential_chain(4, nodes_per_class=2)
+        partition = link_class_partition(pairwise_distances(positions))
+        assert set(partition.occupied) == {0, 1, 2, 3}
+        for i in range(4):
+            assert partition.size(i) == 2
+
+    def test_class_boundaries_half_open(self):
+        # Nearest-neighbor distances 1 and exactly 2 with unit 1:
+        # class(1) = 0, class(2) = 1 (the interval is [2^i, 2^{i+1})).
+        positions = [(0.0, 0.0), (1.0, 0.0), (10.0, 0.0), (12.0, 0.0)]
+        distances = pairwise_distances(positions)
+        partition = link_class_partition(distances, unit=1.0)
+        assert partition.class_of[0] == 0
+        assert partition.class_of[1] == 0
+        assert partition.class_of[2] == 1
+        assert partition.class_of[3] == 1
+
+    def test_members_inverse_of_class_of(self, grid_distances):
+        partition = link_class_partition(grid_distances)
+        for node, index in partition.class_of.items():
+            assert node in partition.members[index]
+
+    def test_every_active_node_classified(self, grid_distances):
+        partition = link_class_partition(grid_distances)
+        assert len(partition.class_of) == 25
+
+    def test_sole_survivor_unclassified(self):
+        distances = pairwise_distances([(0, 0), (5, 0)])
+        active = np.array([True, False])
+        partition = link_class_partition(distances, active)
+        assert partition.class_of == {}
+        assert partition.members == {}
+
+    def test_unit_defaults_to_min_active_nearest(self):
+        positions = [(0.0, 0.0), (4.0, 0.0), (100.0, 0.0), (106.0, 0.0)]
+        distances = pairwise_distances(positions)
+        partition = link_class_partition(distances)
+        assert partition.unit == pytest.approx(4.0)
+        # With unit 4: nearest distances 4, 4, 6, 6 -> classes 0, 0, 0, 0.
+        assert partition.class_of == {0: 0, 1: 0, 2: 0, 3: 0}
+
+    def test_explicit_unit_pins_classes(self):
+        positions = [(0.0, 0.0), (4.0, 0.0)]
+        distances = pairwise_distances(positions)
+        partition = link_class_partition(distances, unit=1.0)
+        assert partition.class_of == {0: 2, 1: 2}
+
+    def test_invalid_unit(self, grid_distances):
+        with pytest.raises(ValueError, match="unit"):
+            link_class_partition(grid_distances, unit=0.0)
+
+
+class TestAggregates:
+    def test_size_below_and_at_least(self):
+        positions = exponential_chain(3, nodes_per_class=4)
+        partition = link_class_partition(pairwise_distances(positions))
+        assert partition.size_below(0) == 0
+        assert partition.size_below(2) == 8
+        assert partition.size_at_least(1) == 8
+        assert partition.size_at_least(0) == 12
+
+    def test_sizes_dict(self):
+        positions = exponential_chain(2, nodes_per_class=2)
+        partition = link_class_partition(pairwise_distances(positions))
+        assert partition.sizes() == {0: 2, 1: 2}
+
+    def test_smallest_largest_occupied(self):
+        positions = exponential_chain(3, nodes_per_class=2)
+        partition = link_class_partition(pairwise_distances(positions))
+        assert partition.smallest_occupied == 0
+        assert partition.largest_occupied == 2
+
+    def test_empty_partition_extremes(self):
+        distances = pairwise_distances([(0, 0)])
+        partition = link_class_partition(distances)
+        assert partition.smallest_occupied is None
+        assert partition.largest_occupied is None
+
+
+class TestClassMigration:
+    def test_knockout_moves_node_to_larger_class(self):
+        # Three nodes: a tight pair and a far one. Deactivating one of the
+        # pair pushes its partner to the far node's class scale.
+        positions = [(0.0, 0.0), (1.0, 0.0), (64.0, 0.0)]
+        distances = pairwise_distances(positions)
+        before = link_class_partition(distances, unit=1.0)
+        assert before.class_of[0] == 0
+        active = np.array([True, False, True])
+        after = link_class_partition(distances, active=active, unit=1.0)
+        assert after.class_of[0] == 6  # distance 64 -> class 6
+        assert 1 not in after.class_of
+
+    def test_no_node_joins_smaller_class(self):
+        # The paper: "no node can join a smaller link class" — knockouts
+        # only remove closer neighbors, never create them.
+        positions = exponential_chain(3, nodes_per_class=4)
+        distances = pairwise_distances(positions)
+        rng = generator_from(0)
+        before = link_class_partition(distances, unit=1.0)
+        for _ in range(50):
+            active = rng.random(positions.shape[0]) > 0.4
+            after = link_class_partition(distances, active=active, unit=1.0)
+            for node, index in after.class_of.items():
+                assert index >= before.class_of[node]
+
+
+class TestTracker:
+    def test_tracker_snapshots_every_round(self, small_positions):
+        distances = pairwise_distances(small_positions)
+        tracker = LinkClassTracker(distances)
+        channel = SINRChannel(small_positions)
+        nodes = FixedProbabilityProtocol(p=0.1).build(channel.n)
+        trace = Simulation(
+            channel,
+            nodes,
+            rng=generator_from(17),
+            max_rounds=2_000,
+            observers=[tracker.observe],
+        ).run()
+        assert len(tracker.history) == trace.rounds_executed
+
+    def test_size_matrix_shape_and_totals(self, small_positions):
+        distances = pairwise_distances(small_positions)
+        tracker = LinkClassTracker(distances)
+        channel = SINRChannel(small_positions)
+        nodes = FixedProbabilityProtocol(p=0.1).build(channel.n)
+        Simulation(
+            channel,
+            nodes,
+            rng=generator_from(19),
+            max_rounds=2_000,
+            observers=[tracker.observe],
+        ).run()
+        matrix, occupied = tracker.size_matrix()
+        assert matrix.shape == (len(tracker.history), len(occupied))
+        # Row totals never exceed the node count and never increase by
+        # more than a knockout round allows (they can only shrink or hold,
+        # since classified actives only lose members overall).
+        totals = matrix.sum(axis=1)
+        assert totals.max() <= small_positions.shape[0]
+
+    def test_tracker_unit_is_stable(self, small_positions):
+        distances = pairwise_distances(small_positions)
+        tracker = LinkClassTracker(distances)
+        first_unit = tracker.unit
+        tracker.observe(None, np.ones(small_positions.shape[0], dtype=bool))
+        assert tracker.history[0].unit == first_unit

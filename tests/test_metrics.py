@@ -1,0 +1,72 @@
+"""Unit tests for :mod:`repro.deploy.metrics`."""
+
+import math
+
+import pytest
+
+from repro.deploy.metrics import (
+    deployment_stats,
+    link_ratio,
+    log_link_ratio,
+    occupied_link_classes,
+)
+from repro.deploy.topologies import exponential_chain, grid, line
+
+
+class TestLinkRatio:
+    def test_grid_ratio(self):
+        # 2x2 unit grid: shortest 1, longest sqrt(2).
+        assert link_ratio(grid(4)) == pytest.approx(math.sqrt(2.0))
+
+    def test_line_ratio(self):
+        # 4 collinear points spacing 1: shortest 1, longest 3.
+        assert link_ratio(line(4)) == pytest.approx(3.0)
+
+    def test_single_node(self):
+        assert link_ratio(grid(1)) == 1.0
+
+    def test_log_link_ratio(self):
+        assert log_link_ratio(line(4)) == pytest.approx(math.log2(3.0))
+
+    def test_ratio_at_least_one(self, rng):
+        from repro.deploy.topologies import uniform_disk
+
+        assert link_ratio(uniform_disk(20, rng)) >= 1.0
+
+
+class TestOccupiedClasses:
+    def test_grid_single_class(self):
+        # Every grid node's nearest neighbor is at exactly the spacing.
+        assert occupied_link_classes(grid(16)) == 1
+
+    def test_chain_classes(self):
+        assert occupied_link_classes(exponential_chain(5, nodes_per_class=2)) == 5
+
+    def test_single_node_zero_classes(self):
+        assert occupied_link_classes(grid(1)) == 0
+
+
+class TestDeploymentStats:
+    def test_consistency_with_individual_metrics(self):
+        positions = exponential_chain(3, nodes_per_class=2)
+        stats = deployment_stats(positions)
+        assert stats.link_ratio == pytest.approx(link_ratio(positions))
+        assert stats.log_link_ratio == pytest.approx(log_link_ratio(positions))
+        assert stats.occupied_classes == occupied_link_classes(positions)
+        assert stats.n == positions.shape[0]
+
+    def test_extremes(self):
+        stats = deployment_stats(line(3, spacing=2.0))
+        assert stats.shortest_link == pytest.approx(2.0)
+        assert stats.longest_link == pytest.approx(4.0)
+
+    def test_degenerate_single_node(self):
+        stats = deployment_stats(grid(1))
+        assert stats.n == 1
+        assert stats.link_ratio == 1.0
+        assert stats.occupied_classes == 0
+
+    def test_str_mentions_key_fields(self):
+        text = str(deployment_stats(grid(9)))
+        assert "n=9" in text
+        assert "classes=" in text

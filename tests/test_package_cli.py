@@ -1,0 +1,19 @@
+"""Tests for the ``python -m repro`` entry point."""
+
+from repro.__main__ import main
+
+
+class TestInventory:
+    def test_prints_version_and_experiments(self, capsys):
+        exit_code = main([])
+        out = capsys.readouterr().out
+        assert "repro" in out
+        assert "E1 " in out or "E1  " in out
+        assert "E16" in out
+        assert exit_code == 0
+
+    def test_selfcheck_runs_a_simulation(self, capsys):
+        exit_code = main(["--selfcheck"])
+        out = capsys.readouterr().out
+        assert "selfcheck: ok" in out
+        assert exit_code == 0

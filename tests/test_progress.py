@@ -1,0 +1,120 @@
+"""Unit tests for execution-progress analytics."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.progress import (
+    contention_decay_rate,
+    hazard_curve,
+    knockout_efficiency,
+    survival_curve,
+)
+from repro.sim.trace import ExecutionTrace, RoundRecord
+
+
+def _record(index, transmitters, active, knocked=()):
+    return RoundRecord(
+        index=index,
+        transmitters=tuple(transmitters),
+        receptions={},
+        active_before=tuple(active),
+        knocked_out=tuple(knocked),
+    )
+
+
+class TestSurvivalCurve:
+    def test_basic_shape(self):
+        ts, surv = survival_curve([1, 2, 2, 4])
+        assert surv[0] == 1.0  # nobody solved after 0 rounds
+        assert surv[1] == pytest.approx(0.75)
+        assert surv[2] == pytest.approx(0.25)
+        assert surv[4] == 0.0
+
+    def test_monotone_nonincreasing(self):
+        ts, surv = survival_curve([3, 1, 7, 2, 2])
+        assert np.all(np.diff(surv) <= 1e-12)
+
+    def test_censored_trials_never_drop(self):
+        ts, surv = survival_curve([1, None], max_round=5)
+        assert surv[-1] == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            survival_curve([])
+        with pytest.raises(ValueError, match="max_round"):
+            survival_curve([1], max_round=0)
+
+
+class TestHazardCurve:
+    def test_deterministic_solve_round(self):
+        ts, hazard = hazard_curve([3, 3, 3])
+        assert hazard[0] == 0.0
+        assert hazard[1] == 0.0
+        assert hazard[2] == 1.0
+
+    def test_geometric_data_flat_hazard(self, rng):
+        rounds = rng.geometric(0.25, size=4_000).tolist()
+        ts, hazard = hazard_curve(rounds, max_round=8)
+        for value in hazard[:5]:
+            assert value == pytest.approx(0.25, abs=0.05)
+
+    def test_nan_after_everyone_solved(self):
+        ts, hazard = hazard_curve([1, 1], max_round=3)
+        assert hazard[0] == 1.0
+        assert math.isnan(hazard[1])
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            hazard_curve([])
+
+
+class TestContentionDecay:
+    def test_recovers_geometric_rate(self):
+        # active counts 64, 32, 16, 8, 4, 2 -> gamma = 0.5 exactly.
+        trace = ExecutionTrace(n=64, protocol_name="x")
+        counts = [64, 32, 16, 8, 4, 2]
+        trace.records = [
+            _record(i, [0], list(range(c))) for i, c in enumerate(counts)
+        ]
+        assert contention_decay_rate(trace) == pytest.approx(0.5, rel=1e-6)
+
+    def test_flat_counts_give_gamma_one(self):
+        trace = ExecutionTrace(n=8, protocol_name="x")
+        trace.records = [_record(i, [0], list(range(8))) for i in range(5)]
+        assert contention_decay_rate(trace) == pytest.approx(1.0)
+
+    def test_requires_two_rounds(self):
+        trace = ExecutionTrace(n=8, protocol_name="x")
+        trace.records = [_record(0, [0], [0, 1])]
+        with pytest.raises(ValueError, match="two recorded rounds"):
+            contention_decay_rate(trace)
+
+    def test_measured_on_real_execution(self, small_channel):
+        from repro.protocols.simple import FixedProbabilityProtocol
+        from repro.sim.engine import Simulation
+        from repro.sim.seeding import generator_from
+
+        nodes = FixedProbabilityProtocol(p=0.1).build(small_channel.n)
+        trace = Simulation(
+            small_channel, nodes, rng=generator_from(2), max_rounds=5_000
+        ).run()
+        gamma = contention_decay_rate(trace)
+        # Corollary 7's footprint: decisively below 1 on a fading channel.
+        assert gamma < 0.9
+
+
+class TestKnockoutEfficiency:
+    def test_ratio(self):
+        trace = ExecutionTrace(n=4, protocol_name="x")
+        trace.records = [
+            _record(0, [0, 1], [0, 1, 2, 3], knocked=[2, 3]),
+            _record(1, [0], [0, 1], knocked=[1]),
+        ]
+        assert knockout_efficiency(trace) == pytest.approx(3 / 3)
+
+    def test_nan_without_transmissions(self):
+        trace = ExecutionTrace(n=2, protocol_name="x")
+        trace.records = [_record(0, [], [0, 1])]
+        assert math.isnan(knockout_efficiency(trace))

@@ -1,0 +1,112 @@
+"""Property tests for channel extensions: jamming and energy reports."""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.sinr.channel import SINRChannel
+from repro.sinr.jamming import ExternalSource
+from repro.sinr.parameters import SINRParameters
+
+finite_coord = st.floats(
+    min_value=-200.0, max_value=200.0, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def deployments(draw, min_nodes=2, max_nodes=8):
+    n = draw(st.integers(min_nodes, max_nodes))
+    points = []
+    attempts = 0
+    while len(points) < n and attempts < 200:
+        attempts += 1
+        candidate = (draw(finite_coord), draw(finite_coord))
+        if all(
+            (candidate[0] - p[0]) ** 2 + (candidate[1] - p[1]) ** 2 >= 1.0
+            for p in points
+        ):
+            points.append(candidate)
+    assume(len(points) >= min_nodes)
+    return np.asarray(points, dtype=np.float64)
+
+
+class TestJammingProperties:
+    @given(deployments(), st.floats(0.1, 1e6), st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_jammer_never_creates_receptions(self, positions, power_factor, data):
+        """Adding external interference can only destroy receptions."""
+        clean = SINRChannel(positions, params=SINRParameters())
+        jammer = ExternalSource(
+            position=(positions[:, 0].mean() + 0.37, positions[:, 1].mean() + 0.19),
+            power=power_factor * clean.params.power,
+        )
+        jammed = SINRChannel(
+            positions,
+            params=clean.params,
+            external_sources=[jammer],
+            auto_power=False,
+        )
+        n = positions.shape[0]
+        tx = sorted(
+            data.draw(st.sets(st.integers(0, n - 1), min_size=1, max_size=n))
+        )
+        before = clean.resolve(tx)
+        after = jammed.resolve(tx)
+        # Every reception surviving the jammer existed without it, with the
+        # same decoded sender (the jammer changes no signal powers, only
+        # adds interference, so the argmax sender is unchanged).
+        for listener, sender in after.received_from.items():
+            assert before.received_from.get(listener) == sender
+
+    @given(deployments(), st.floats(1.0, 1e6), st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_jammer_raises_measured_energy(self, positions, power_factor, data):
+        clean = SINRChannel(positions, params=SINRParameters())
+        jammer = ExternalSource(
+            position=(positions[:, 0].mean() + 0.37, positions[:, 1].mean() + 0.19),
+            power=power_factor * clean.params.power,
+        )
+        jammed = SINRChannel(
+            positions,
+            params=clean.params,
+            external_sources=[jammer],
+            auto_power=False,
+        )
+        n = positions.shape[0]
+        tx = sorted(
+            data.draw(st.sets(st.integers(0, n - 1), min_size=1, max_size=n - 1))
+        )
+        assume(tx)
+        before = clean.resolve(tx)
+        after = jammed.resolve(tx)
+        for listener, energy in after.energy.items():
+            assert energy > before.energy[listener]
+
+
+class TestEnergyProperties:
+    @given(deployments(), st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_energy_equals_gain_sum(self, positions, data):
+        channel = SINRChannel(positions, params=SINRParameters())
+        n = positions.shape[0]
+        tx = sorted(
+            data.draw(st.sets(st.integers(0, n - 1), min_size=1, max_size=n))
+        )
+        report = channel.resolve(tx)
+        for listener, energy in report.energy.items():
+            expected = float(channel.base_gains[tx, listener].sum())
+            assert energy == pytest.approx(expected)
+
+    @given(deployments(min_nodes=3), st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_decoded_listeners_always_have_energy(self, positions, data):
+        channel = SINRChannel(positions, params=SINRParameters())
+        n = positions.shape[0]
+        tx = sorted(
+            data.draw(st.sets(st.integers(0, n - 1), min_size=1, max_size=n - 1))
+        )
+        assume(tx)
+        report = channel.resolve(tx)
+        for listener in report.received_from:
+            assert report.energy[listener] > 0.0

@@ -1,0 +1,87 @@
+"""Property-based tests for schedule inspection and progress analytics."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.progress import hazard_curve, survival_curve
+from repro.protocols.decay import DecayProtocol
+from repro.protocols.schedules import (
+    expected_transmitters,
+    probability_schedule,
+    solo_probability,
+)
+from repro.protocols.simple import FixedProbabilityProtocol
+
+
+class TestScheduleProperties:
+    @given(st.integers(2, 512), st.integers(1, 40))
+    @settings(max_examples=40, deadline=None)
+    def test_decay_schedule_is_valid_probability(self, bound, horizon):
+        schedule = probability_schedule(
+            DecayProtocol(size_bound=bound), horizon=horizon, n=2
+        )
+        assert np.all(schedule > 0.0)
+        assert np.all(schedule <= 0.5)
+
+    @given(st.integers(1, 30), st.lists(st.integers(0, 10), min_size=1, max_size=8))
+    @settings(max_examples=40, deadline=None)
+    def test_expected_transmitters_bounded_by_awake_count(self, horizon, activations):
+        expected = expected_transmitters(
+            FixedProbabilityProtocol(p=0.3), activations, horizon=horizon
+        )
+        for t in range(horizon):
+            awake = sum(1 for a in activations if a <= t)
+            assert expected[t] <= awake * 0.3 + 1e-12
+
+    @given(st.integers(1, 200), st.floats(0.0, 1.0))
+    @settings(max_examples=60, deadline=None)
+    def test_solo_probability_is_a_probability(self, n, p):
+        value = solo_probability(n, p)
+        assert 0.0 <= value <= 1.0
+
+    @given(st.integers(2, 100))
+    @settings(max_examples=30, deadline=None)
+    def test_solo_probability_peaks_near_reciprocal(self, n):
+        # p = 1/n is the exact maximiser of n p (1-p)^{n-1}.
+        at_peak = solo_probability(n, 1.0 / n)
+        for other in (0.5 / n, 2.0 / n):
+            if other <= 1.0:
+                assert at_peak >= solo_probability(n, other) - 1e-12
+
+
+class TestProgressProperties:
+    @given(
+        st.lists(
+            st.one_of(st.none(), st.integers(1, 50)), min_size=1, max_size=40
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_survival_monotone_and_bounded(self, rounds):
+        ts, surv = survival_curve(rounds, max_round=50)
+        assert np.all(surv >= 0.0)
+        assert np.all(surv <= 1.0)
+        assert np.all(np.diff(surv) <= 1e-12)
+        assert surv[0] == 1.0 if all(r is None or r > 0 for r in rounds) else True
+
+    @given(st.lists(st.integers(1, 30), min_size=1, max_size=40))
+    @settings(max_examples=50, deadline=None)
+    def test_hazard_in_unit_interval(self, rounds):
+        ts, hazard = hazard_curve(rounds)
+        finite = hazard[~np.isnan(hazard)]
+        assert np.all(finite >= 0.0)
+        assert np.all(finite <= 1.0)
+
+    @given(st.lists(st.integers(1, 30), min_size=1, max_size=40))
+    @settings(max_examples=50, deadline=None)
+    def test_survival_consistent_with_hazard(self, rounds):
+        # S(t) = prod_{s<=t} (1 - h(s)) for fully observed data.
+        ts, surv = survival_curve(rounds)
+        _, hazard = hazard_curve(rounds)
+        running = 1.0
+        for t in range(1, len(surv)):
+            h = hazard[t - 1]
+            if np.isnan(h):
+                break
+            running *= 1.0 - h
+            assert abs(running - surv[t]) < 1e-9

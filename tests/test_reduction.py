@@ -1,0 +1,81 @@
+"""Unit tests for the Lemma 14 reduction (CR algorithm -> hitting player)."""
+
+import math
+
+import pytest
+
+from repro.hitting.game import AdaptiveReferee, FixedTargetReferee, play_hitting_game
+from repro.hitting.reduction import ContentionResolutionPlayer
+from repro.protocols.base import Action
+from repro.protocols.cd_tournament import CollisionDetectionTournamentProtocol
+from repro.protocols.decay import DecayProtocol
+from repro.protocols.simple import FixedProbabilityProtocol
+from repro.sim.seeding import generator_from
+
+
+class TestConstruction:
+    def test_builds_k_nodes(self):
+        player = ContentionResolutionPlayer(FixedProbabilityProtocol(p=0.5), 8)
+        assert len(player.nodes) == 8
+
+    def test_rejects_cd_protocols(self):
+        with pytest.raises(ValueError, match="collision-detection"):
+            ContentionResolutionPlayer(CollisionDetectionTournamentProtocol(), 8)
+
+
+class TestSimulation:
+    def test_proposal_is_broadcaster_set(self, rng):
+        player = ContentionResolutionPlayer(FixedProbabilityProtocol(p=1.0), 4)
+        proposal = player.propose(0, rng)
+        assert proposal == frozenset({0, 1, 2, 3})
+
+    def test_silence_fed_on_loss(self, rng):
+        # Deterministic decay with N=2: the sweep is [1/2]; with knockout
+        # disabled all nodes stay active forever under all-silence feedback.
+        player = ContentionResolutionPlayer(DecayProtocol(size_bound=4), 4)
+        for round_index in range(20):
+            player.propose(round_index, rng)
+            player.on_loss(round_index)
+        assert all(node.active for node in player.nodes)
+
+    def test_simulated_round_advances_only_on_loss(self, rng):
+        player = ContentionResolutionPlayer(FixedProbabilityProtocol(p=0.5), 4)
+        assert player._round == 0
+        player.propose(0, rng)
+        assert player._round == 0  # a win would end here, mid-round
+        player.on_loss(0)
+        assert player._round == 1
+
+    def test_knockout_protocols_stay_active_under_silence(self, rng):
+        # All nodes receive nothing, so the paper's algorithm never
+        # deactivates anyone inside the simulation.
+        player = ContentionResolutionPlayer(FixedProbabilityProtocol(p=0.3), 16)
+        for round_index in range(50):
+            player.propose(round_index, rng)
+            player.on_loss(round_index)
+        assert all(node.active for node in player.nodes)
+
+
+class TestBoundTransfer:
+    def test_simple_protocol_respects_adaptive_floor(self, rng):
+        for k in (4, 16, 64):
+            player = ContentionResolutionPlayer(FixedProbabilityProtocol(p=0.5), k)
+            result = play_hitting_game(
+                player, AdaptiveReferee(k), rng, max_rounds=50_000
+            )
+            assert result.won
+            assert result.rounds_to_win >= math.ceil(math.log2(k))
+
+    def test_decay_respects_adaptive_floor(self, rng):
+        k = 16
+        player = ContentionResolutionPlayer(DecayProtocol(size_bound=k), k)
+        result = play_hitting_game(player, AdaptiveReferee(k), rng, max_rounds=50_000)
+        assert result.won
+        assert result.rounds_to_win >= 4
+
+    def test_wins_against_fixed_targets(self, rng):
+        k = 8
+        referee = FixedTargetReferee(k, frozenset({1, 6}))
+        player = ContentionResolutionPlayer(FixedProbabilityProtocol(p=0.5), k)
+        result = play_hitting_game(player, referee, rng, max_rounds=10_000)
+        assert result.won

@@ -1,0 +1,122 @@
+"""Unit tests for the reporting subpackage."""
+
+import math
+
+import pytest
+
+from repro.experiments.common import ExperimentResult
+from repro.reporting.ascii_charts import ascii_histogram, ascii_plot
+from repro.reporting.markdown import render_result_markdown, write_report
+
+
+class TestAsciiPlot:
+    def test_contains_markers_and_legend(self):
+        text = ascii_plot(
+            {"simple": [1, 2, 3], "decay": [2, 4, 8]}, x=[16, 64, 256]
+        )
+        assert "o=simple" in text
+        assert "x=decay" in text
+        body = "\n".join(line for line in text.splitlines() if "|" in line)
+        assert "o" in body and "x" in body
+
+    def test_log_x_axis_label(self):
+        text = ascii_plot({"a": [1, 2, 3]}, x=[2, 4, 8], log_x=True)
+        assert "log2(x)" in text
+
+    def test_title_rendered(self):
+        text = ascii_plot({"a": [1, 2]}, x=[1, 2], title="rounds vs n")
+        assert text.splitlines()[0] == "rounds vs n"
+
+    def test_extremes_labelled(self):
+        text = ascii_plot({"a": [5, 10]}, x=[1, 2])
+        assert "10" in text
+        assert "5" in text
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="series"):
+            ascii_plot({}, x=[1])
+        with pytest.raises(ValueError, match="points"):
+            ascii_plot({"a": [1, 2]}, x=[1])
+        with pytest.raises(ValueError, match="positive"):
+            ascii_plot({"a": [1, 2]}, x=[0, 1], log_x=True)
+        with pytest.raises(ValueError, match="plot area"):
+            ascii_plot({"a": [1]}, x=[1], width=2)
+
+    def test_constant_series_does_not_crash(self):
+        text = ascii_plot({"flat": [3, 3, 3]}, x=[1, 2, 3])
+        assert "o" in text
+
+    def test_plot_dimensions(self):
+        text = ascii_plot({"a": [1, 2]}, x=[1, 2], width=20, height=6)
+        body = [line for line in text.splitlines() if "|" in line]
+        assert len(body) == 6
+
+
+class TestAsciiHistogram:
+    def test_counts_sum_preserved(self):
+        values = [1, 1, 2, 3, 3, 3]
+        text = ascii_histogram(values, bins=3)
+        counts = [int(line.split()[-2]) for line in text.splitlines()]
+        assert sum(counts) == len(values)
+
+    def test_bars_proportional(self):
+        text = ascii_histogram([1] * 10 + [5], bins=2, width=10)
+        lines = text.splitlines()
+        assert lines[0].count("#") > lines[1].count("#")
+
+    def test_title(self):
+        text = ascii_histogram([1, 2], bins=2, title="dist")
+        assert text.splitlines()[0] == "dist"
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            ascii_histogram([])
+        with pytest.raises(ValueError, match="bins"):
+            ascii_histogram([1.0], bins=0)
+
+
+def _sample_result():
+    return ExperimentResult(
+        experiment_id="EX",
+        title="sample experiment",
+        header=["n", "mean", "ok"],
+        rows=[[16, 3.5, True], [64, 7.25, False]],
+        checks={"shape_holds": True, "other": False},
+        notes=["a finding"],
+    )
+
+
+class TestMarkdown:
+    def test_section_contains_table(self):
+        text = render_result_markdown(_sample_result())
+        assert "| n | mean | ok |" in text
+        assert "| 16 | 3.5 | yes |" in text
+        assert "| 64 | 7.25 | no |" in text
+
+    def test_checks_rendered_with_verdicts(self):
+        text = render_result_markdown(_sample_result())
+        assert "`shape_holds`: PASS" in text
+        assert "`other`: **FAIL**" in text
+
+    def test_notes_rendered(self):
+        assert "- a finding" in render_result_markdown(_sample_result())
+
+    def test_heading_level(self):
+        text = render_result_markdown(_sample_result(), heading_level=3)
+        assert text.startswith("### EX")
+
+    def test_write_report_roundtrip(self, tmp_path):
+        path = tmp_path / "report.md"
+        text = write_report([_sample_result()], str(path), title="T", preamble="P")
+        assert path.read_text(encoding="utf-8") == text
+        assert text.startswith("# T")
+        assert "P" in text
+        assert "**FAIL**" in text  # scoreboard verdict
+
+    def test_scoreboard_lists_all(self, tmp_path):
+        passing = ExperimentResult("E_OK", "t", ["c"], rows=[[1]], checks={"a": True})
+        text = write_report(
+            [_sample_result(), passing], str(tmp_path / "r.md")
+        )
+        assert "| EX |" in text
+        assert "| E_OK |" in text

@@ -1,0 +1,109 @@
+"""Unit tests for sawtooth backoff."""
+
+import numpy as np
+import pytest
+
+from repro.protocols.base import Feedback
+from repro.protocols.sawtooth import (
+    SawtoothBackoffNode,
+    SawtoothBackoffProtocol,
+    _window_of_round,
+)
+from repro.radio.channel import RadioChannel
+from repro.sim.engine import Simulation
+from repro.sim.runner import run_trials
+from repro.sim.seeding import generator_from
+
+
+class TestWindowSchedule:
+    def test_first_windows(self):
+        # Windows 2, 4, 8: rounds 0-1 size 2, rounds 2-5 size 4, 6-13 size 8.
+        assert _window_of_round(0, max_exponent=3) == 2
+        assert _window_of_round(1, max_exponent=3) == 2
+        assert _window_of_round(2, max_exponent=3) == 4
+        assert _window_of_round(5, max_exponent=3) == 4
+        assert _window_of_round(6, max_exponent=3) == 8
+        assert _window_of_round(13, max_exponent=3) == 8
+
+    def test_sawtooth_restarts(self):
+        cycle = 2 + 4 + 8
+        assert _window_of_round(cycle, max_exponent=3) == 2
+        assert _window_of_round(cycle + 2, max_exponent=3) == 4
+
+    def test_probability_is_reciprocal_window(self):
+        node = SawtoothBackoffNode(0, max_exponent=3, deactivate_on_receive=False)
+        assert node.broadcast_probability(0) == pytest.approx(0.5)
+        assert node.broadcast_probability(3) == pytest.approx(0.25)
+        assert node.broadcast_probability(10) == pytest.approx(0.125)
+
+    def test_each_window_w_lasts_w_rounds(self):
+        node = SawtoothBackoffNode(0, max_exponent=5, deactivate_on_receive=False)
+        probabilities = [node.broadcast_probability(r) for r in range(2 + 4 + 8 + 16 + 32)]
+        for w in (2, 4, 8, 16, 32):
+            assert probabilities.count(pytest.approx(1.0 / w)) == w
+
+
+class TestFactory:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="max_exponent"):
+            SawtoothBackoffProtocol(max_exponent=0)
+        with pytest.raises(ValueError, match="n"):
+            SawtoothBackoffProtocol().build(0)
+
+    def test_no_size_knowledge(self):
+        assert SawtoothBackoffProtocol.knows_network_size is False
+
+    def test_knockout_flag(self):
+        node = SawtoothBackoffProtocol(deactivate_on_receive=True).build(1)[0]
+        node.on_feedback(0, Feedback(transmitted=False, received=2))
+        assert not node.active
+        quiet = SawtoothBackoffProtocol().build(1)[0]
+        quiet.on_feedback(0, Feedback(transmitted=False, received=2))
+        assert quiet.active
+
+
+class TestBehaviour:
+    def test_solves_radio_channel(self):
+        channel = RadioChannel(16)
+        nodes = SawtoothBackoffProtocol().build(16)
+        trace = Simulation(
+            channel, nodes, rng=generator_from(3), max_rounds=50_000
+        ).run()
+        assert trace.solved
+
+    def test_linear_growth_versus_decay(self):
+        """The sawtooth's solve time grows linearly in n (the window before
+        the adequate one costs ~2n rounds), while decay's grows like log n
+        — the separation that motivates decay's design.
+        """
+        from repro.protocols.decay import DecayProtocol
+
+        means = {}
+        for n in (8, 64):
+            saw = run_trials(
+                lambda rng, n=n: RadioChannel(n),
+                SawtoothBackoffProtocol(),
+                trials=40,
+                seed=(61, n),
+                max_rounds=100_000,
+            )
+            dec = run_trials(
+                lambda rng, n=n: RadioChannel(n),
+                DecayProtocol(),
+                trials=40,
+                seed=(62, n),
+                max_rounds=100_000,
+            )
+            means[n] = (saw.mean_rounds, dec.mean_rounds)
+        saw_growth = means[64][0] / means[8][0]
+        dec_growth = means[64][1] / means[8][1]
+        # 8x more nodes: sawtooth should grow several-fold, decay mildly.
+        assert saw_growth > 2.5
+        assert dec_growth < saw_growth
+
+    def test_oblivious_schedule_integration(self):
+        from repro.protocols.schedules import probability_schedule
+
+        schedule = probability_schedule(SawtoothBackoffProtocol(max_exponent=3), horizon=14)
+        assert schedule[0] == pytest.approx(0.5)
+        assert schedule[13] == pytest.approx(0.125)

@@ -1,0 +1,150 @@
+"""Unit tests for :mod:`repro.sinr.parameters`."""
+
+import math
+
+import pytest
+
+from repro.sinr.parameters import SINGLE_HOP_MARGIN, SINRParameters, single_hop_power
+
+
+class TestValidation:
+    def test_default_parameters_are_valid(self):
+        params = SINRParameters()
+        assert params.alpha > 2.0
+        assert params.beta > 0.0
+
+    def test_alpha_must_exceed_two(self):
+        with pytest.raises(ValueError, match="alpha"):
+            SINRParameters(alpha=2.0)
+
+    def test_alpha_below_two_rejected(self):
+        with pytest.raises(ValueError, match="alpha"):
+            SINRParameters(alpha=1.5)
+
+    def test_beta_must_be_positive(self):
+        with pytest.raises(ValueError, match="beta"):
+            SINRParameters(beta=0.0)
+
+    def test_negative_noise_rejected(self):
+        with pytest.raises(ValueError, match="noise"):
+            SINRParameters(noise=-0.1)
+
+    def test_zero_noise_allowed(self):
+        assert SINRParameters(noise=0.0).noise == 0.0
+
+    def test_power_must_be_positive(self):
+        with pytest.raises(ValueError, match="power"):
+            SINRParameters(power=0.0)
+
+    def test_parameters_are_immutable(self):
+        params = SINRParameters()
+        with pytest.raises(AttributeError):
+            params.alpha = 4.0
+
+
+class TestEpsilon:
+    def test_epsilon_definition(self):
+        # Definition 1: epsilon = alpha/2 - 1.
+        assert SINRParameters(alpha=3.0).epsilon == pytest.approx(0.5)
+
+    def test_epsilon_positive_for_valid_alpha(self):
+        for alpha in (2.01, 2.5, 3.0, 4.0, 6.0):
+            assert SINRParameters(alpha=alpha).epsilon > 0.0
+
+    def test_epsilon_grows_with_alpha(self):
+        assert SINRParameters(alpha=4.0).epsilon > SINRParameters(alpha=3.0).epsilon
+
+
+class TestReception:
+    def test_received_power_decays_with_distance(self):
+        params = SINRParameters(alpha=3.0, power=8.0)
+        assert params.received_power(1.0) > params.received_power(2.0)
+
+    def test_received_power_exact_value(self):
+        params = SINRParameters(alpha=3.0, power=8.0)
+        assert params.received_power(2.0) == pytest.approx(1.0)
+
+    def test_received_power_rejects_zero_distance(self):
+        with pytest.raises(ValueError, match="distance"):
+            SINRParameters().received_power(0.0)
+
+    def test_sinr_ratio(self):
+        params = SINRParameters(noise=1.0)
+        assert params.sinr(signal=3.0, interference=1.0) == pytest.approx(1.5)
+
+    def test_sinr_infinite_on_clean_noiseless_channel(self):
+        params = SINRParameters(noise=0.0)
+        assert math.isinf(params.sinr(signal=1.0, interference=0.0))
+
+    def test_is_received_at_threshold(self):
+        params = SINRParameters(beta=1.5, noise=1.0)
+        assert params.is_received(signal=1.5, interference=0.0)
+
+    def test_is_not_received_below_threshold(self):
+        params = SINRParameters(beta=1.5, noise=1.0)
+        assert not params.is_received(signal=1.49, interference=0.0)
+
+    def test_interference_blocks_reception(self):
+        params = SINRParameters(beta=1.5, noise=1.0)
+        assert params.is_received(signal=3.0, interference=0.5)
+        assert not params.is_received(signal=3.0, interference=2.0)
+
+
+class TestCommunicationRange:
+    def test_range_infinite_without_noise(self):
+        assert math.isinf(SINRParameters(noise=0.0).communication_range)
+
+    def test_range_solves_threshold_equation(self):
+        params = SINRParameters(alpha=3.0, beta=2.0, noise=1.0, power=16.0)
+        d = params.communication_range
+        # At exactly d the arriving signal equals beta * noise.
+        assert params.received_power(d) == pytest.approx(params.beta * params.noise)
+
+    def test_range_grows_with_power(self):
+        low = SINRParameters(power=1.0).communication_range
+        high = SINRParameters(power=100.0).communication_range
+        assert high > low
+
+
+class TestSingleHop:
+    def test_satisfies_single_hop_with_big_power(self):
+        params = SINRParameters(power=1e9)
+        assert params.satisfies_single_hop(diameter=10.0)
+
+    def test_violates_single_hop_with_small_power(self):
+        params = SINRParameters(power=1.0)
+        assert not params.satisfies_single_hop(diameter=100.0)
+
+    def test_single_hop_power_meets_margin(self):
+        params = SINRParameters()
+        power = single_hop_power(params, diameter=50.0)
+        assert params.with_power(power).satisfies_single_hop(50.0)
+
+    def test_single_hop_power_uses_paper_margin(self):
+        params = SINRParameters(alpha=3.0, beta=1.5, noise=1.0)
+        power = single_hop_power(params, diameter=2.0)
+        floor = SINGLE_HOP_MARGIN * params.beta * params.noise * 2.0**3
+        assert power > floor
+
+    def test_single_hop_power_noiseless_keeps_power(self):
+        params = SINRParameters(noise=0.0, power=7.0)
+        assert single_hop_power(params, diameter=100.0) == 7.0
+
+    def test_sized_for_returns_new_instance(self):
+        params = SINRParameters()
+        sized = params.sized_for(diameter=100.0)
+        assert sized is not params
+        assert sized.satisfies_single_hop(100.0)
+        assert params.power == 1.0  # original untouched
+
+    def test_diameter_must_be_positive(self):
+        with pytest.raises(ValueError, match="diameter"):
+            SINRParameters().satisfies_single_hop(0.0)
+
+    def test_with_power_preserves_other_fields(self):
+        params = SINRParameters(alpha=4.0, beta=2.0, noise=0.5)
+        changed = params.with_power(42.0)
+        assert changed.power == 42.0
+        assert changed.alpha == 4.0
+        assert changed.beta == 2.0
+        assert changed.noise == 0.5

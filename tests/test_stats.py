@@ -1,0 +1,77 @@
+"""Unit tests for bootstrap statistics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.stats import (
+    bootstrap_ci,
+    bootstrap_mean_ci,
+    empirical_tail_probability,
+)
+
+
+class TestBootstrapCI:
+    def test_interval_contains_point_estimate(self, rng):
+        sample = rng.normal(10.0, 2.0, size=200)
+        low, high = bootstrap_mean_ci(sample, rng)
+        assert low <= sample.mean() <= high
+
+    def test_interval_ordering(self, rng):
+        sample = rng.exponential(5.0, size=100)
+        low, high = bootstrap_mean_ci(sample, rng)
+        assert low < high
+
+    def test_tighter_with_more_data(self, rng):
+        small = rng.normal(0.0, 1.0, size=20)
+        large = rng.normal(0.0, 1.0, size=2_000)
+        low_s, high_s = bootstrap_mean_ci(small, rng)
+        low_l, high_l = bootstrap_mean_ci(large, rng)
+        assert (high_l - low_l) < (high_s - low_s)
+
+    def test_wider_at_higher_confidence(self, rng):
+        sample = rng.normal(0.0, 1.0, size=100)
+        low90, high90 = bootstrap_mean_ci(sample, rng, confidence=0.90)
+        low99, high99 = bootstrap_mean_ci(sample, rng, confidence=0.99)
+        assert (high99 - low99) >= (high90 - low90)
+
+    def test_degenerate_sample(self, rng):
+        low, high = bootstrap_mean_ci([5.0] * 10, rng)
+        assert low == high == 5.0
+
+    def test_custom_statistic(self, rng):
+        sample = rng.exponential(1.0, size=200)
+        low, high = bootstrap_ci(sample, np.median, rng)
+        assert low <= np.median(sample) <= high
+
+    def test_empty_sample_rejected(self, rng):
+        with pytest.raises(ValueError, match="empty"):
+            bootstrap_mean_ci([], rng)
+
+    def test_confidence_validation(self, rng):
+        with pytest.raises(ValueError, match="confidence"):
+            bootstrap_mean_ci([1.0, 2.0], rng, confidence=1.5)
+
+    def test_resamples_validation(self, rng):
+        with pytest.raises(ValueError, match="resamples"):
+            bootstrap_mean_ci([1.0, 2.0], rng, resamples=0)
+
+    def test_deterministic_given_rng(self):
+        sample = list(range(50))
+        a = bootstrap_mean_ci(sample, np.random.default_rng(1))
+        b = bootstrap_mean_ci(sample, np.random.default_rng(1))
+        assert a == b
+
+
+class TestTailProbability:
+    def test_basic_fraction(self):
+        assert empirical_tail_probability([1, 2, 3, 4], 2.5) == pytest.approx(0.5)
+
+    def test_strictly_greater(self):
+        assert empirical_tail_probability([1, 2, 3], 3) == 0.0
+
+    def test_all_above(self):
+        assert empirical_tail_probability([5, 6], 1) == 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            empirical_tail_probability([], 1.0)

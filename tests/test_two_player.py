@@ -1,0 +1,87 @@
+"""Unit tests for two-player contention resolution."""
+
+import pytest
+
+from repro.hitting.two_player import (
+    failure_probability_within,
+    two_player_trial,
+    two_player_trials,
+)
+from repro.protocols.decay import DecayProtocol
+from repro.protocols.simple import FixedProbabilityProtocol
+from repro.sim.seeding import generator_from
+
+
+class TestSingleTrial:
+    def test_simple_protocol_wins(self):
+        outcome = two_player_trial(
+            FixedProbabilityProtocol(p=0.5), generator_from(0)
+        )
+        assert outcome.won
+        assert outcome.rounds >= 1
+
+    def test_degenerate_p_one_never_wins(self):
+        outcome = two_player_trial(
+            FixedProbabilityProtocol(p=1.0), generator_from(0), max_rounds=100
+        )
+        assert not outcome.won
+
+
+class TestTrials:
+    def test_trial_count(self):
+        outcomes = two_player_trials(FixedProbabilityProtocol(p=0.5), trials=20, seed=1)
+        assert len(outcomes) == 20
+
+    def test_deterministic(self):
+        a = two_player_trials(FixedProbabilityProtocol(p=0.5), trials=10, seed=4)
+        b = two_player_trials(FixedProbabilityProtocol(p=0.5), trials=10, seed=4)
+        assert [o.rounds for o in a] == [o.rounds for o in b]
+
+    def test_trials_validation(self):
+        with pytest.raises(ValueError, match="trials"):
+            two_player_trials(FixedProbabilityProtocol(), trials=0)
+
+    def test_p_half_is_geometric_half(self):
+        # P(win in a round) = 2 * 0.5 * 0.5 = 0.5, so mean winning time 2.
+        outcomes = two_player_trials(
+            FixedProbabilityProtocol(p=0.5), trials=600, seed=9
+        )
+        rounds = [o.rounds for o in outcomes]
+        assert sum(rounds) / len(rounds) == pytest.approx(2.0, rel=0.15)
+
+    def test_decay_solves_two_player(self):
+        outcomes = two_player_trials(DecayProtocol(size_bound=2), trials=50, seed=2)
+        assert all(o.won for o in outcomes)
+
+
+class TestFailureProbability:
+    def test_decays_with_budget(self):
+        outcomes = two_player_trials(
+            FixedProbabilityProtocol(p=0.5), trials=800, seed=5
+        )
+        f1 = failure_probability_within(outcomes, 1)
+        f4 = failure_probability_within(outcomes, 4)
+        f8 = failure_probability_within(outcomes, 8)
+        assert f1 > f4 > f8 >= 0.0
+
+    def test_matches_geometric_envelope(self):
+        # For the optimal symmetric strategy failure(B) = 2^-B exactly.
+        outcomes = two_player_trials(
+            FixedProbabilityProtocol(p=0.5), trials=2_000, seed=6
+        )
+        for budget in (1, 2, 3):
+            measured = failure_probability_within(outcomes, budget)
+            assert measured == pytest.approx(2.0**-budget, abs=0.05)
+
+    def test_validation(self):
+        outcomes = two_player_trials(FixedProbabilityProtocol(p=0.5), trials=5, seed=7)
+        with pytest.raises(ValueError, match="budget"):
+            failure_probability_within(outcomes, 0)
+        with pytest.raises(ValueError, match="outcomes"):
+            failure_probability_within([], 1)
+
+    def test_unsolved_counts_as_failure(self):
+        outcomes = two_player_trials(
+            FixedProbabilityProtocol(p=1.0), trials=10, seed=8, max_rounds=20
+        )
+        assert failure_probability_within(outcomes, 5) == 1.0
