@@ -7,14 +7,41 @@ pytest-benchmark timing, prints the experiment's table to the terminal
 reproduced rows), and asserts the experiment's shape checks.
 
 ``run_experiment_benchmark`` is the one helper they all share.
+
+Machine-readable records: when the environment variable
+``REPRO_BENCH_JSON`` names a path, the session additionally writes every
+experiment benchmark's wall time there in the same ``repro-bench`` format
+as ``BENCH_core.json``, so pytest-driven runs are comparable with
+``tools/bench_diff.py`` too::
+
+    REPRO_BENCH_JSON=bench_experiments.json \
+        PYTHONPATH=src python -m pytest benchmarks/ --benchmark-only
 """
 
 from __future__ import annotations
 
+import os
+import time
+from typing import Dict
+
+#: Per-benchmark records accumulated over one pytest session, keyed by
+#: experiment id; flushed by ``pytest_sessionfinish`` when requested.
+_SESSION_RECORDS: Dict[str, Dict[str, object]] = {}
+
 
 def run_experiment_benchmark(benchmark, capsys, module, config):
     """Run one experiment once under timing, print its table, assert checks."""
+    started = time.perf_counter()
     result = benchmark.pedantic(module.run, args=(config,), iterations=1, rounds=1)
+    elapsed = time.perf_counter() - started
+    record: Dict[str, object] = {"wall_time_s": elapsed, "repeats": 1}
+    if result.timings:
+        total_rounds_per_sec = [rps for _, _, rps in result.timings if rps == rps]
+        if total_rounds_per_sec:
+            record["rounds_per_sec"] = sum(total_rounds_per_sec) / len(
+                total_rounds_per_sec
+            )
+    _SESSION_RECORDS[result.experiment_id] = record
     with capsys.disabled():
         print()
         print(result.format())
@@ -23,3 +50,12 @@ def run_experiment_benchmark(benchmark, capsys, module, config):
         + ", ".join(name for name, ok in result.checks.items() if not ok)
     )
     return result
+
+
+def pytest_sessionfinish(session, exitstatus):
+    path = os.environ.get("REPRO_BENCH_JSON")
+    if not path or not _SESSION_RECORDS:
+        return
+    from repro.obs.bench import write_bench_record
+
+    write_bench_record(dict(sorted(_SESSION_RECORDS.items())), path)

@@ -1,0 +1,18 @@
+#!/usr/bin/env python
+"""Write the machine-readable core benchmark record (``BENCH_core.json``).
+
+Thin wrapper around :mod:`repro.obs.bench` so the harness lives next to
+the pytest benchmarks it complements::
+
+    PYTHONPATH=src python benchmarks/harness.py --output BENCH_core.json
+
+Compare two records (and gate CI on regressions) with
+``tools/bench_diff.py``. See docs/observability.md.
+"""
+
+import sys
+
+if __name__ == "__main__":
+    from repro.obs.bench import main
+
+    sys.exit(main())

@@ -67,6 +67,7 @@ from repro.deploy import (
     uniform_disk,
     uniform_square,
 )
+from repro.obs import MetricsRegistry, TelemetrySession, get_registry
 from repro.reporting import ascii_histogram, ascii_plot
 from repro.sinr.jamming import ExternalSource
 from repro.hitting import (
@@ -142,6 +143,7 @@ __all__ = [
     "JurdzinskiStachowiakProtocol",
     "LinkClassPartition",
     "LinkClassTracker",
+    "MetricsRegistry",
     "NodeProtocol",
     "ProtocolFactory",
     "RadioChannel",
@@ -152,6 +154,7 @@ __all__ = [
     "SawtoothBackoffProtocol",
     "Simulation",
     "SlottedAlohaProtocol",
+    "TelemetrySession",
     "TrialStats",
     "UniformSubsetPlayer",
     "ascii_histogram",
@@ -167,6 +170,7 @@ __all__ = [
     "fit_models",
     "fit_scaling_law",
     "generator_from",
+    "get_registry",
     "good_nodes",
     "grid",
     "hazard_curve",

@@ -12,9 +12,14 @@ from __future__ import annotations
 
 import csv
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Dict, List, Sequence, Tuple
 
-__all__ = ["ExperimentResult", "format_table"]
+__all__ = ["ExperimentResult", "format_table", "COST_HEADER"]
+
+#: Column names of the per-experiment cost table (see
+#: :attr:`ExperimentResult.timings`): sweep-point label, wall-clock
+#: seconds, and simulated rounds per second.
+COST_HEADER = ("stage", "wall_time_s", "rounds_per_sec")
 
 
 def format_table(header: Sequence[str], rows: Sequence[Sequence]) -> str:
@@ -59,6 +64,12 @@ class ExperimentResult:
         reproduction's pass condition for this experiment.
     notes:
         Free-form findings (fitted laws, constants, caveats).
+    timings:
+        Optional cost rows ``(label, wall_time_s, rounds_per_sec)`` —
+        typically one per sweep point, fed by
+        :attr:`repro.sim.runner.TrialStats.total_wall_time` and
+        :attr:`~repro.sim.runner.TrialStats.rounds_per_second` — so
+        reports show what each reproduced number cost to measure.
     """
 
     experiment_id: str
@@ -67,6 +78,11 @@ class ExperimentResult:
     rows: List[List] = field(default_factory=list)
     checks: Dict[str, bool] = field(default_factory=dict)
     notes: List[str] = field(default_factory=list)
+    timings: List[Tuple[str, float, float]] = field(default_factory=list)
+
+    def add_timing(self, label: str, wall_time_s: float, rounds_per_sec: float) -> None:
+        """Append one cost row (see :attr:`timings`)."""
+        self.timings.append((label, float(wall_time_s), float(rounds_per_sec)))
 
     @property
     def passed(self) -> bool:
@@ -94,6 +110,11 @@ class ExperimentResult:
                 lines.append(f"  check {name}: {'PASS' if ok else 'FAIL'}")
         for note in self.notes:
             lines.append(f"  note: {note}")
+        if self.timings:
+            total = sum(wall for _, wall, _ in self.timings)
+            lines.append(f"  cost: {total:.2f}s total")
+            for label, wall, rps in self.timings:
+                lines.append(f"    {label}: {wall:.2f}s, {rps:.0f} rounds/s")
         return "\n".join(lines)
 
     def __str__(self) -> str:

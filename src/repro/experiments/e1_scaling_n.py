@@ -88,6 +88,7 @@ def run(config: Config) -> ExperimentResult:
         )
         means.append(stats.mean_rounds)
         p95s.append(stats.percentile(95))
+        result.add_timing(f"n={n}", stats.total_wall_time, stats.rounds_per_second)
         result.rows.append(
             [
                 n,

@@ -1,0 +1,78 @@
+"""Unified telemetry for the reproduction: metrics, events, manifests.
+
+The simulation substrate answers *what happened* through traces and
+observers; this package answers *what it cost* — where wall time went, how
+much channel work each round performed, how an experiment's trials
+progressed — and makes every run reconstructible after the fact.
+
+Three layers, each usable on its own:
+
+``registry``
+    A zero-dependency metrics registry (:class:`Counter`, :class:`Gauge`,
+    :class:`Histogram` with fixed log-spaced buckets, :class:`Timer`
+    spans). A process-global default registry is **disabled** by default:
+    the hot paths guard on one attribute read, so an uninstrumented run
+    pays effectively nothing.
+
+``events`` / ``manifest``
+    A structured JSONL event sink plus a run manifest (seed, config,
+    package version, git SHA, platform, timestamps) so any experiment run
+    is diffable and replayable.
+
+``telemetry``
+    :class:`TelemetrySession` ties the layers together: it enables a
+    registry, opens an event sink in a target directory, writes the
+    manifest at start and the metrics snapshot at exit. The experiments
+    CLI exposes it as ``python -m repro.experiments <id> --telemetry-dir
+    DIR``.
+
+``bench``
+    The machine-readable benchmark harness behind ``BENCH_core.json`` —
+    see :mod:`repro.obs.bench` and ``tools/bench_diff.py``.
+
+The engine's *observers* remain the right hook for per-round analysis
+code (link classes, knockout accounting); telemetry is the orthogonal,
+always-available layer for cost and progress. See docs/observability.md.
+"""
+
+from repro.obs.events import (
+    EventSink,
+    JsonlEventSink,
+    NullEventSink,
+    get_sink,
+    read_events,
+    set_sink,
+)
+from repro.obs.manifest import RunManifest, collect_environment, collect_git_sha
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Timer,
+    get_registry,
+    log_spaced_buckets,
+    set_registry,
+)
+from repro.obs.telemetry import TelemetrySession
+
+__all__ = [
+    "Counter",
+    "EventSink",
+    "Gauge",
+    "Histogram",
+    "JsonlEventSink",
+    "MetricsRegistry",
+    "NullEventSink",
+    "RunManifest",
+    "TelemetrySession",
+    "Timer",
+    "collect_environment",
+    "collect_git_sha",
+    "get_registry",
+    "get_sink",
+    "log_spaced_buckets",
+    "read_events",
+    "set_registry",
+    "set_sink",
+]

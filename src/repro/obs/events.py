@@ -1,0 +1,121 @@
+"""Structured run logs: one JSON object per line.
+
+Events are the *narrative* of a run — session start, per-experiment and
+per-trial milestones, progress heartbeats — at a cadence of tens per
+second at most, never per simulated round (round-level data belongs to
+metrics and traces). Each line is independently parseable, so a crashed
+run's log is still readable up to the crash.
+
+Schema (one object per line)::
+
+    {"event": "<kind>", "ts": <unix seconds>, ...free-form fields...}
+
+A process-global sink mirrors the metrics registry's global: it defaults
+to :class:`NullEventSink` (drop everything) and a
+:class:`repro.obs.telemetry.TelemetrySession` swaps in a real JSONL sink
+for the duration of a run.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Callable, Dict, List, Union
+
+__all__ = [
+    "EventSink",
+    "JsonlEventSink",
+    "NullEventSink",
+    "get_sink",
+    "set_sink",
+    "read_events",
+]
+
+PathLike = Union[str, Path]
+
+
+class EventSink:
+    """Interface: ``emit`` one structured event; ``close`` when done."""
+
+    def emit(self, kind: str, **fields) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:  # pragma: no cover - trivial default
+        pass
+
+
+class NullEventSink(EventSink):
+    """Drops every event — the disabled-telemetry default."""
+
+    def emit(self, kind: str, **fields) -> None:
+        pass
+
+
+class JsonlEventSink(EventSink):
+    """Appends events to a ``.jsonl`` file, one object per line.
+
+    Every emit is flushed so the log survives crashes and can be tailed
+    while a long sweep runs. ``clock`` is injectable for deterministic
+    tests.
+    """
+
+    def __init__(
+        self, path: PathLike, clock: Callable[[], float] = time.time
+    ) -> None:
+        self.path = Path(path)
+        self._clock = clock
+        self._handle = open(self.path, "a", encoding="utf-8")
+        self.events_emitted = 0
+
+    def emit(self, kind: str, **fields) -> None:
+        if self._handle.closed:
+            raise ValueError(f"event sink {self.path} is closed")
+        record: Dict[str, object] = {"event": kind, "ts": self._clock()}
+        record.update(fields)
+        self._handle.write(json.dumps(record, default=str) + "\n")
+        self._handle.flush()
+        self.events_emitted += 1
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.close()
+
+
+def read_events(path: PathLike) -> List[Dict[str, object]]:
+    """Load a JSONL event log back as a list of dicts (blank lines skipped)."""
+    events: List[Dict[str, object]] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise ValueError(
+                    f"{path}:{line_number}: malformed event line"
+                ) from error
+            if not isinstance(record, dict) or "event" not in record:
+                raise ValueError(
+                    f"{path}:{line_number}: event lines must be objects "
+                    "with an 'event' field"
+                )
+            events.append(record)
+    return events
+
+
+_default_sink: EventSink = NullEventSink()
+
+
+def get_sink() -> EventSink:
+    """The process-global event sink (a no-op sink unless a session is live)."""
+    return _default_sink
+
+
+def set_sink(sink: EventSink) -> EventSink:
+    """Install ``sink`` globally; returns the previous sink for restoration."""
+    global _default_sink
+    previous = _default_sink
+    _default_sink = sink
+    return previous

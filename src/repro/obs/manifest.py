@@ -1,0 +1,162 @@
+"""Run manifests: enough provenance to reconstruct any experiment run.
+
+A manifest answers "what exactly produced these numbers?" months later:
+the seed(s), the protocol/channel configuration, the package version, the
+git SHA the code ran at, the platform, and the wall-clock window. It is
+written *first* (status ``running``) so even a crashed run leaves a
+record, then finalised on exit.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import subprocess
+import sys
+from dataclasses import asdict, dataclass, field
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+__all__ = ["RunManifest", "collect_environment", "collect_git_sha"]
+
+PathLike = Union[str, Path]
+
+MANIFEST_FORMAT = "repro-run-manifest"
+MANIFEST_VERSION = 1
+
+
+def collect_git_sha(cwd: Optional[PathLike] = None) -> Optional[str]:
+    """The git HEAD SHA governing ``cwd``, or ``None`` without a repo / git.
+
+    ``cwd`` defaults to this package's source directory — the manifest
+    wants the SHA of the *code that ran*, which is independent of where
+    the process happened to be launched from. (For an installed package
+    outside any checkout this resolves to ``None``.)
+    """
+    if cwd is None:
+        cwd = Path(__file__).resolve().parent
+    try:
+        completed = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=str(cwd) if cwd is not None else None,
+            capture_output=True,
+            text=True,
+            timeout=5.0,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    if completed.returncode != 0:
+        return None
+    sha = completed.stdout.strip()
+    return sha or None
+
+
+def collect_environment() -> Dict[str, str]:
+    """Platform facts worth diffing between two runs of the same experiment."""
+    import numpy
+
+    from repro import __version__
+
+    return {
+        "package_version": __version__,
+        "python_version": platform.python_version(),
+        "python_implementation": platform.python_implementation(),
+        "numpy_version": numpy.__version__,
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "executable": sys.executable,
+    }
+
+
+def _utc_now_iso() -> str:
+    return datetime.now(timezone.utc).isoformat()
+
+
+@dataclass
+class RunManifest:
+    """Provenance record for one telemetry-bearing run.
+
+    ``seed`` and ``config`` are free-form JSON-safe values supplied by the
+    caller (the experiments CLI records ``{experiment_id: seed}`` and the
+    full config dataclasses); everything else is stamped automatically by
+    :meth:`create`.
+    """
+
+    run_id: str
+    command: Optional[str] = None
+    seed: Any = None
+    config: Dict[str, Any] = field(default_factory=dict)
+    environment: Dict[str, str] = field(default_factory=dict)
+    git_sha: Optional[str] = None
+    started_at: str = ""
+    finished_at: Optional[str] = None
+    status: str = "running"
+
+    @classmethod
+    def create(
+        cls,
+        run_id: str,
+        command: Optional[str] = None,
+        seed: Any = None,
+        config: Optional[Dict[str, Any]] = None,
+    ) -> "RunManifest":
+        """A new manifest stamped with the current environment and time."""
+        return cls(
+            run_id=run_id,
+            command=command,
+            seed=seed,
+            config=dict(config or {}),
+            environment=collect_environment(),
+            git_sha=collect_git_sha(),
+            started_at=_utc_now_iso(),
+        )
+
+    def finish(self, status: str = "completed") -> None:
+        """Stamp the end of the run."""
+        self.finished_at = _utc_now_iso()
+        self.status = status
+
+    def to_dict(self) -> Dict[str, Any]:
+        document: Dict[str, Any] = {
+            "format": MANIFEST_FORMAT,
+            "version": MANIFEST_VERSION,
+        }
+        document.update(asdict(self))
+        return document
+
+    def write(self, path: PathLike) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_dict(), handle, indent=2, default=str)
+            handle.write("\n")
+
+    @classmethod
+    def load(cls, path: PathLike) -> "RunManifest":
+        with open(path, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+        if (
+            not isinstance(document, dict)
+            or document.get("format") != MANIFEST_FORMAT
+        ):
+            raise ValueError(f"{path}: not a {MANIFEST_FORMAT} file")
+        if document.get("version") != MANIFEST_VERSION:
+            raise ValueError(
+                f"{path}: unsupported manifest version "
+                f"{document.get('version')!r}"
+            )
+        fields = {
+            name: document[name]
+            for name in (
+                "run_id",
+                "command",
+                "seed",
+                "config",
+                "environment",
+                "git_sha",
+                "started_at",
+                "finished_at",
+                "status",
+            )
+            if name in document
+        }
+        return cls(**fields)

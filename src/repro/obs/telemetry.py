@@ -1,0 +1,130 @@
+"""Telemetry sessions: one directory per run, three artefacts.
+
+A :class:`TelemetrySession` scopes the whole telemetry stack to one run:
+
+* ``manifest.json`` — provenance (:class:`repro.obs.manifest.RunManifest`),
+  written immediately on entry with status ``running`` and finalised on
+  exit;
+* ``events.jsonl`` — the structured run log
+  (:class:`repro.obs.events.JsonlEventSink`), installed as the global
+  sink for the session's duration;
+* ``metrics.json`` — the final registry snapshot, written on exit.
+
+On entry the session installs a fresh, **enabled**
+:class:`~repro.obs.registry.MetricsRegistry` as the process global, which
+is what switches the instrumented hot paths (engine, channels, fast path,
+runner) on; on exit the previous registry and sink are restored, so
+nesting a session inside an uninstrumented program leaves no residue.
+
+Usage::
+
+    with TelemetrySession("runs/e1", seed=101, command="E1 --quick") as session:
+        run_trials(...)
+        session.emit("milestone", detail="sweep done")
+    # runs/e1/{manifest.json, metrics.json, events.jsonl} now exist
+"""
+
+from __future__ import annotations
+
+import json
+import uuid
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from repro.obs.events import JsonlEventSink, set_sink
+from repro.obs.manifest import RunManifest
+from repro.obs.registry import MetricsRegistry, set_registry
+
+__all__ = ["TelemetrySession"]
+
+PathLike = Union[str, Path]
+
+MANIFEST_FILENAME = "manifest.json"
+METRICS_FILENAME = "metrics.json"
+EVENTS_FILENAME = "events.jsonl"
+
+
+class TelemetrySession:
+    """Collect manifest + metrics + events for one run into a directory."""
+
+    def __init__(
+        self,
+        directory: PathLike,
+        run_id: Optional[str] = None,
+        command: Optional[str] = None,
+        seed: Any = None,
+        config: Optional[Dict[str, Any]] = None,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.directory = Path(directory)
+        self.run_id = run_id or uuid.uuid4().hex[:12]
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.registry.enabled = True
+        self.manifest = RunManifest.create(
+            run_id=self.run_id, command=command, seed=seed, config=config
+        )
+        self.sink: Optional[JsonlEventSink] = None
+        self._previous_registry: Optional[MetricsRegistry] = None
+        self._previous_sink = None
+        self._active = False
+
+    @property
+    def manifest_path(self) -> Path:
+        return self.directory / MANIFEST_FILENAME
+
+    @property
+    def metrics_path(self) -> Path:
+        return self.directory / METRICS_FILENAME
+
+    @property
+    def events_path(self) -> Path:
+        return self.directory / EVENTS_FILENAME
+
+    def start(self) -> "TelemetrySession":
+        """Create the directory, write the manifest, install the globals."""
+        if self._active:
+            raise RuntimeError("telemetry session already started")
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.manifest.write(self.manifest_path)
+        self.sink = JsonlEventSink(self.events_path)
+        self._previous_registry = set_registry(self.registry)
+        self._previous_sink = set_sink(self.sink)
+        self._active = True
+        self.sink.emit("session_start", run_id=self.run_id)
+        return self
+
+    def emit(self, kind: str, **fields) -> None:
+        """Emit a session-scoped event (no-op before start / after finish)."""
+        if self.sink is not None and self._active:
+            self.sink.emit(kind, **fields)
+
+    def write_metrics_snapshot(self) -> Dict[str, Dict[str, Any]]:
+        """Write the current registry snapshot to ``metrics.json``."""
+        snapshot = self.registry.snapshot()
+        with open(self.metrics_path, "w", encoding="utf-8") as handle:
+            json.dump(snapshot, handle, indent=2, default=str)
+            handle.write("\n")
+        return snapshot
+
+    def finish(self, status: str = "completed") -> None:
+        """Finalise all artefacts and restore the previous globals."""
+        if not self._active:
+            return
+        self.sink.emit("session_end", run_id=self.run_id, status=status)
+        self._active = False
+        self.write_metrics_snapshot()
+        self.manifest.finish(status=status)
+        self.manifest.write(self.manifest_path)
+        set_registry(self._previous_registry)
+        set_sink(self._previous_sink)
+        self.sink.close()
+
+    def __enter__(self) -> "TelemetrySession":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.finish(status="completed" if exc_type is None else "failed")
+
+    def __repr__(self) -> str:
+        state = "active" if self._active else "idle"
+        return f"TelemetrySession({str(self.directory)!r}, {state})"

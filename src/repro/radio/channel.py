@@ -9,11 +9,14 @@ receiver collision detection enabled — the ``Theta(log n)`` bound of [20].
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from enum import Enum
 from typing import Dict, Optional, Sequence
 
 import numpy as np
+
+from repro.obs.registry import get_registry
 
 __all__ = ["ChannelObservation", "RadioReport", "RadioChannel"]
 
@@ -84,6 +87,23 @@ class RadioChannel:
         accepted (and ignored) for that reason — the collision channel is
         deterministic given the transmitter set.
         """
+        obs = get_registry()
+        if not obs.enabled:
+            return self._resolve(transmitters, listeners)
+        started = time.perf_counter()
+        report = self._resolve(transmitters, listeners)
+        obs.counter("channel.radio.resolve_calls").inc()
+        obs.histogram("channel.radio.resolve_seconds").observe(
+            time.perf_counter() - started
+        )
+        return report
+
+    def _resolve(
+        self,
+        transmitters: Sequence[int],
+        listeners: Optional[Sequence[int]],
+    ) -> RadioReport:
+        """The uninstrumented resolve body (see :meth:`resolve`)."""
         tx = sorted(set(int(i) for i in transmitters))
         if tx and (tx[0] < 0 or tx[-1] >= self.n):
             raise IndexError("transmitter index out of range")

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from typing import Iterable, Optional, Sequence
 
-from repro.experiments.common import ExperimentResult
+from repro.experiments.common import COST_HEADER, ExperimentResult
 
 __all__ = ["render_result_markdown", "write_report"]
 
@@ -47,6 +47,11 @@ def render_result_markdown(result: ExperimentResult, heading_level: int = 2) -> 
         lines.append("")
         for note in result.notes:
             lines.append(f"- {note}")
+        lines.append("")
+    if result.timings:
+        lines.append("**Cost**")
+        lines.append("")
+        lines.append(_markdown_table(COST_HEADER, result.timings))
         lines.append("")
     return "\n".join(lines)
 

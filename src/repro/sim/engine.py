@@ -33,6 +33,7 @@ from typing import Callable, List, Optional
 
 import numpy as np
 
+from repro.obs.registry import get_registry
 from repro.protocols.base import Action, Feedback, NodeProtocol
 from repro.radio.channel import RadioChannel
 from repro.sim.trace import ExecutionTrace, RoundRecord
@@ -134,7 +135,24 @@ class Simulation:
             )
 
     def run(self) -> ExecutionTrace:
-        """Execute rounds until solved or the budget is exhausted."""
+        """Execute rounds until solved or the budget is exhausted.
+
+        Telemetry (distinct from *observers*, which are per-execution
+        analysis hooks): when the global metrics registry is enabled the
+        engine records per-round transmitter/reception/knockout counts
+        and the active population under ``sim.*`` — see
+        docs/observability.md for the metric schema.
+        """
+        obs = get_registry()
+        recording = obs.enabled
+        if recording:
+            obs.counter("sim.executions").inc()
+            c_rounds = obs.counter("sim.rounds")
+            c_tx = obs.counter("sim.transmissions")
+            c_rx = obs.counter("sim.receptions")
+            c_ko = obs.counter("sim.knockouts")
+            h_tx = obs.histogram("sim.transmitters_per_round")
+            g_active = obs.gauge("sim.active_population")
         trace = ExecutionTrace(n=self.channel.n, protocol_name=self.protocol_name)
         active = np.array([node.active for node in self.nodes], dtype=bool)
         everyone_awake_from_start = bool(np.all(self.activation == 0))
@@ -180,11 +198,20 @@ class Simulation:
                 trace.records.append(record)
             for observer in self.observers:
                 observer(record, active)
+            if recording:
+                c_rounds.inc()
+                c_tx.inc(len(transmitters))
+                c_rx.inc(len(report.received_from))
+                c_ko.inc(len(knocked_out))
+                h_tx.observe(len(transmitters))
+                g_active.set(int(np.count_nonzero(active)))
 
             trace.rounds_executed = round_index + 1
             if record.is_solo:
                 trace.solved_round = round_index
                 break
+        if recording and trace.solved:
+            obs.counter("sim.solved_executions").inc()
         return trace
 
     def _deliver_feedback(

@@ -20,13 +20,23 @@ activation schedules, or radio channels.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Callable, List, Optional
 
 import numpy as np
 
+from repro.obs.registry import get_registry
 from repro.sinr.channel import SINRChannel
 
-__all__ = ["FastRunResult", "fast_fixed_probability_run"]
+__all__ = ["FastRunResult", "FastRoundTelemetry", "fast_fixed_probability_run"]
+
+#: Per-round telemetry callback:
+#: ``(round_index, active_count, transmitter_count, knockouts)``. The
+#: engine's observer mechanism cannot reach the fast path (there are no
+#: RoundRecords to hand out); this callback is its lightweight stand-in,
+#: invoked once per executed round — including the solving round, whose
+#: knockout count is reported as 0 because the fast path stops before
+#: resolving it.
+FastRoundTelemetry = Callable[[int, int, int, int], None]
 
 
 @dataclass(frozen=True)
@@ -59,12 +69,18 @@ def fast_fixed_probability_run(
     p: float,
     rng: np.random.Generator,
     max_rounds: int = 100_000,
+    telemetry: Optional[FastRoundTelemetry] = None,
 ) -> FastRunResult:
     """Run the paper's algorithm to the first solo round, vectorised.
 
     Restrictions (by design): deterministic gain model, no external
     sources with ``duty_cycle < 1`` (continuous jammers are folded into a
     static interference vector), simultaneous activation.
+
+    ``telemetry`` receives ``(round_index, active_count, tx_count,
+    knockouts)`` per executed round; when the global metrics registry is
+    enabled the run also feeds the ``fast.*`` counters, so scaling
+    studies show up in telemetry sessions alongside generic-engine runs.
     """
     if not 0.0 < p <= 1.0:
         raise ValueError(f"broadcast probability must be in (0, 1] (got {p})")
@@ -88,6 +104,13 @@ def fast_fixed_probability_run(
     else:
         static_external = np.zeros(n)
 
+    obs = get_registry()
+    recording = obs.enabled
+    if recording:
+        obs.counter("fast.executions").inc()
+        c_rounds = obs.counter("fast.rounds")
+        c_ko = obs.counter("fast.knockouts")
+
     active = np.ones(n, dtype=bool)
     active_counts: List[int] = []
 
@@ -100,28 +123,38 @@ def fast_fixed_probability_run(
                 rounds_executed=round_index,
                 active_counts=active_counts,
             )
-        active_counts.append(int(active_ids.size))
+        num_active = int(active_ids.size)
+        active_counts.append(num_active)
 
         coins = rng.random(active_ids.size) < p
         tx = active_ids[coins]
+        if recording:
+            c_rounds.inc()
         if tx.size == 1:
+            if telemetry is not None:
+                telemetry(round_index, num_active, 1, 0)
+            if recording:
+                obs.counter("fast.solved_executions").inc()
             return FastRunResult(
                 n=n,
                 solved_round=round_index,
                 rounds_executed=round_index + 1,
                 active_counts=active_counts,
             )
-        if tx.size == 0:
-            continue
-
-        listeners = active_ids[~coins]
-        if listeners.size == 0:
-            continue
-        rows = gains[tx][:, listeners]
-        totals = rows.sum(axis=0) + static_external[listeners]
-        best = rows.max(axis=0)
-        decoded = best >= params.beta * (params.noise + totals - best)
-        active[listeners[decoded]] = False
+        knockouts = 0
+        if tx.size > 0:
+            listeners = active_ids[~coins]
+            if listeners.size > 0:
+                rows = gains[tx][:, listeners]
+                totals = rows.sum(axis=0) + static_external[listeners]
+                best = rows.max(axis=0)
+                decoded = best >= params.beta * (params.noise + totals - best)
+                knockouts = int(np.count_nonzero(decoded))
+                active[listeners[decoded]] = False
+        if telemetry is not None:
+            telemetry(round_index, num_active, int(tx.size), knockouts)
+        if recording and knockouts:
+            c_ko.inc(knockouts)
 
     return FastRunResult(
         n=n,

@@ -10,11 +10,14 @@ benchmarks share.
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass
 from typing import Callable, List, Optional
 
 import numpy as np
 
+from repro.obs.events import get_sink
+from repro.obs.registry import get_registry
 from repro.protocols.base import ProtocolFactory
 from repro.sim.engine import Simulation
 from repro.sim.seeding import SeedLike, spawn_generators
@@ -43,6 +46,13 @@ class TrialStats:
     rounds: List[int]
     failures: int
     traces: Optional[List[ExecutionTrace]] = None
+    #: Wall-clock seconds spent executing all trials (simulation only —
+    #: channel construction inside the factory is included deliberately,
+    #: since stochastic deployments resample per trial).
+    total_wall_time: float = 0.0
+    #: Rounds executed across every trial, solved or not — the
+    #: denominator-independent measure of channel work performed.
+    total_rounds_executed: int = 0
 
     @property
     def solve_rate(self) -> float:
@@ -75,6 +85,13 @@ class TrialStats:
             return float("nan")
         return float(np.std(self.rounds, ddof=1))
 
+    @property
+    def rounds_per_second(self) -> float:
+        """Simulated rounds per wall-clock second over the whole batch."""
+        if self.total_wall_time <= 0.0:
+            return float("nan")
+        return self.total_rounds_executed / self.total_wall_time
+
     def summary(self) -> str:
         """One printable line — the row format the benchmark tables use."""
         if not self.rounds:
@@ -101,17 +118,32 @@ def run_trials(
     one for the channel factory (deployment sampling, fading) and one for
     the protocol's coin flips — so deployment randomness and protocol
     randomness can be varied independently in ablations.
+
+    Every trial is individually timed; the resulting
+    :attr:`TrialStats.total_wall_time` and
+    :attr:`TrialStats.rounds_per_second` make cost reportable alongside
+    solving rounds. With telemetry enabled (see :mod:`repro.obs`) the
+    runner additionally feeds ``runner.*`` counters and emits per-trial
+    events plus a ~1 Hz progress heartbeat to the global event sink.
     """
     if trials < 1:
         raise ValueError(f"trials must be positive (got {trials})")
     rounds: List[int] = []
     failures = 0
     traces: List[ExecutionTrace] = [] if keep_traces else None
+    total_rounds_executed = 0
+
+    obs = get_registry()
+    recording = obs.enabled
+    sink = get_sink() if recording else None
+    last_heartbeat = time.perf_counter()
 
     generators = spawn_generators(seed, 2 * trials)
+    batch_started = time.perf_counter()
     for trial in range(trials):
         deploy_rng = generators[2 * trial]
         protocol_rng = generators[2 * trial + 1]
+        trial_started = time.perf_counter()
         channel = channel_factory(deploy_rng)
         nodes = protocol.build(channel.n)
         simulation = Simulation(
@@ -123,6 +155,8 @@ def run_trials(
             protocol_name=protocol.name,
         )
         trace = simulation.run()
+        trial_elapsed = time.perf_counter() - trial_started
+        total_rounds_executed += trace.rounds_executed
         if trace.solved:
             rounds.append(trace.rounds_to_solve)
         else:
@@ -130,12 +164,31 @@ def run_trials(
         if keep_traces:
             traces.append(trace)
 
+        if recording:
+            obs.counter("runner.trials").inc()
+            obs.counter("runner.solved" if trace.solved else "runner.failures").inc()
+            obs.histogram("runner.trial_seconds").observe(trial_elapsed)
+            now = time.perf_counter()
+            if now - last_heartbeat >= 1.0 or trial == trials - 1:
+                last_heartbeat = now
+                sink.emit(
+                    "trials_progress",
+                    protocol=protocol.name,
+                    done=trial + 1,
+                    total=trials,
+                    solved=len(rounds),
+                    failures=failures,
+                    elapsed_s=now - batch_started,
+                )
+
     return TrialStats(
         protocol_name=protocol.name,
         trials=trials,
         rounds=rounds,
         failures=failures,
         traces=traces,
+        total_wall_time=time.perf_counter() - batch_started,
+        total_rounds_executed=total_rounds_executed,
     )
 
 

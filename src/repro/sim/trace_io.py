@@ -7,7 +7,8 @@ executions on disk. The format mirrors :class:`ExecutionTrace` directly:
 
     {
         "format": "repro-trace",
-        "version": 1,
+        "version": 2,
+        "schema_version": 2,
         "n": 4,
         "protocol_name": "simple(p=0.1)",
         "solved_round": 2,
@@ -20,6 +21,14 @@ executions on disk. The format mirrors :class:`ExecutionTrace` directly:
 
 JSON objects key by strings, so reception maps are round-tripped through
 ``str(listener)`` and restored to ints on load.
+
+Versioning: ``schema_version`` (introduced together with the telemetry
+layer) is the field future readers key their migrations on; ``version``
+is retained as its alias for files written before ``schema_version``
+existed. The loader accepts any schema version in
+``SUPPORTED_SCHEMA_VERSIONS`` — version-1 files (no ``schema_version``
+field) remain loadable, and unknown top-level fields added by newer
+writers are ignored rather than rejected.
 """
 
 from __future__ import annotations
@@ -30,10 +39,17 @@ from typing import Union
 
 from repro.sim.trace import ExecutionTrace, RoundRecord
 
-__all__ = ["save_trace", "load_trace"]
+__all__ = ["save_trace", "load_trace", "SCHEMA_VERSION", "SUPPORTED_SCHEMA_VERSIONS"]
 
 _FORMAT_NAME = "repro-trace"
-_FORMAT_VERSION = 1
+
+#: The schema this writer produces. Bump when the trace document gains
+#: fields readers must understand to interpret it correctly.
+SCHEMA_VERSION = 2
+
+#: Schema versions this reader accepts. Version 1 files predate the
+#: ``schema_version`` field and are identified by ``version`` alone.
+SUPPORTED_SCHEMA_VERSIONS = frozenset({1, 2})
 
 PathLike = Union[str, Path]
 
@@ -42,7 +58,8 @@ def save_trace(trace: ExecutionTrace, path: PathLike) -> None:
     """Write a trace (including all round records) as JSON."""
     document = {
         "format": _FORMAT_NAME,
-        "version": _FORMAT_VERSION,
+        "version": SCHEMA_VERSION,
+        "schema_version": SCHEMA_VERSION,
         "n": trace.n,
         "protocol_name": trace.protocol_name,
         "solved_round": trace.solved_round,
@@ -69,9 +86,11 @@ def load_trace(path: PathLike) -> ExecutionTrace:
         document = json.load(handle)
     if not isinstance(document, dict) or document.get("format") != _FORMAT_NAME:
         raise ValueError(f"{path}: not a {_FORMAT_NAME} file")
-    if document.get("version") != _FORMAT_VERSION:
+    schema_version = document.get("schema_version", document.get("version"))
+    if schema_version not in SUPPORTED_SCHEMA_VERSIONS:
         raise ValueError(
-            f"{path}: unsupported version {document.get('version')!r}"
+            f"{path}: unsupported schema version {schema_version!r} "
+            f"(supported: {sorted(SUPPORTED_SCHEMA_VERSIONS)})"
         )
     trace = ExecutionTrace(
         n=int(document["n"]),

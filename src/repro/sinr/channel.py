@@ -22,8 +22,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Sequence
 
+import time
+
 import numpy as np
 
+from repro.obs.registry import get_registry
 from repro.sinr.fading import DeterministicGain, GainModel
 from repro.sinr.geometry import as_positions, pairwise_distances
 from repro.sinr.jamming import ExternalSource, external_gain_matrix
@@ -157,6 +160,30 @@ class SINRChannel:
         -------
         ReceptionReport
         """
+        obs = get_registry()
+        if not obs.enabled:
+            return self._resolve(transmitters, rng, listeners)
+        started = time.perf_counter()
+        report = self._resolve(transmitters, rng, listeners)
+        obs.counter("channel.sinr.resolve_calls").inc()
+        # Every (transmitter, listener) pair costs one gain-matrix cell
+        # evaluation in the reductions; the energy map keys every listener
+        # whenever anyone transmitted.
+        obs.counter("channel.sinr.gain_evaluations").inc(
+            len(report.transmitters) * len(report.energy)
+        )
+        obs.histogram("channel.sinr.resolve_seconds").observe(
+            time.perf_counter() - started
+        )
+        return report
+
+    def _resolve(
+        self,
+        transmitters: Sequence[int],
+        rng: Optional[np.random.Generator],
+        listeners: Optional[Sequence[int]],
+    ) -> ReceptionReport:
+        """The uninstrumented resolve body (see :meth:`resolve`)."""
         tx = np.unique(np.asarray(list(transmitters), dtype=np.intp))
         if tx.size and (tx.min() < 0 or tx.max() >= self.n):
             raise IndexError("transmitter index out of range")

@@ -1,0 +1,99 @@
+"""Tests for the JSONL event sink and the global sink switch."""
+
+import json
+
+import pytest
+
+from repro.obs.events import (
+    JsonlEventSink,
+    NullEventSink,
+    get_sink,
+    read_events,
+    set_sink,
+)
+
+
+class TestJsonlEventSink:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        sink = JsonlEventSink(path, clock=lambda: 123.5)
+        sink.emit("session_start", run_id="abc")
+        sink.emit("trials_progress", done=3, total=10)
+        sink.close()
+
+        events = read_events(path)
+        assert [event["event"] for event in events] == [
+            "session_start",
+            "trials_progress",
+        ]
+        assert events[0] == {"event": "session_start", "ts": 123.5, "run_id": "abc"}
+        assert events[1]["done"] == 3 and events[1]["total"] == 10
+        assert sink.events_emitted == 2
+
+    def test_each_line_is_independent_json(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        sink = JsonlEventSink(path)
+        for i in range(5):
+            sink.emit("tick", i=i)
+        sink.close()
+        lines = path.read_text().strip().split("\n")
+        assert len(lines) == 5
+        for line in lines:
+            json.loads(line)
+
+    def test_flushes_per_emit(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        sink = JsonlEventSink(path)
+        sink.emit("crashy")
+        # Readable before close — the crash-survival property.
+        assert read_events(path)[0]["event"] == "crashy"
+        sink.close()
+
+    def test_emit_after_close_raises(self, tmp_path):
+        sink = JsonlEventSink(tmp_path / "events.jsonl")
+        sink.close()
+        sink.close()  # idempotent
+        with pytest.raises(ValueError, match="closed"):
+            sink.emit("late")
+
+    def test_non_json_values_are_stringified(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        sink = JsonlEventSink(path)
+        sink.emit("odd", where=tmp_path)  # Path is not JSON-serialisable
+        sink.close()
+        assert read_events(path)[0]["where"] == str(tmp_path)
+
+
+class TestReadEventsValidation:
+    def test_rejects_malformed_line(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"event": "ok", "ts": 1}\nnot json\n')
+        with pytest.raises(ValueError, match="malformed"):
+            read_events(path)
+
+    def test_rejects_missing_event_field(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"ts": 1}\n')
+        with pytest.raises(ValueError, match="'event' field"):
+            read_events(path)
+
+    def test_skips_blank_lines(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        path.write_text('{"event": "a", "ts": 1}\n\n{"event": "b", "ts": 2}\n')
+        assert len(read_events(path)) == 2
+
+
+class TestGlobalSink:
+    def test_default_is_null_sink(self):
+        assert isinstance(get_sink(), NullEventSink)
+        get_sink().emit("dropped", anything=1)  # must not raise
+
+    def test_set_sink_swaps_and_restores(self, tmp_path):
+        sink = JsonlEventSink(tmp_path / "events.jsonl")
+        previous = set_sink(sink)
+        try:
+            assert get_sink() is sink
+        finally:
+            set_sink(previous)
+            sink.close()
+        assert get_sink() is previous

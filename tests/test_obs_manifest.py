@@ -1,0 +1,68 @@
+"""Tests for run manifests: completeness and persistence."""
+
+import json
+
+import pytest
+
+import repro
+from repro.obs.manifest import RunManifest, collect_environment, collect_git_sha
+
+
+class TestCollectors:
+    def test_environment_is_complete(self):
+        environment = collect_environment()
+        assert environment["package_version"] == repro.__version__
+        for key in ("python_version", "numpy_version", "platform", "machine"):
+            assert environment[key]
+
+    def test_git_sha_in_this_repo(self):
+        # The test suite runs from a git checkout, so a SHA must resolve.
+        sha = collect_git_sha()
+        assert sha is not None
+        assert len(sha) == 40
+
+    def test_git_sha_outside_repo_is_none(self, tmp_path):
+        assert collect_git_sha(cwd=tmp_path) is None
+
+
+class TestRunManifest:
+    def test_create_stamps_provenance(self):
+        manifest = RunManifest.create(
+            run_id="r1", command="E1 --quick", seed={"E1": 101}
+        )
+        assert manifest.seed == {"E1": 101}
+        assert manifest.git_sha is not None
+        assert manifest.environment["package_version"] == repro.__version__
+        assert manifest.started_at  # ISO timestamp
+        assert manifest.finished_at is None
+        assert manifest.status == "running"
+
+    def test_finish_stamps_end(self):
+        manifest = RunManifest.create(run_id="r1")
+        manifest.finish()
+        assert manifest.status == "completed"
+        assert manifest.finished_at >= manifest.started_at
+
+    def test_write_load_round_trip(self, tmp_path):
+        manifest = RunManifest.create(
+            run_id="r2", seed=7, config={"preset": "quick"}
+        )
+        manifest.finish(status="completed")
+        path = tmp_path / "manifest.json"
+        manifest.write(path)
+        loaded = RunManifest.load(path)
+        assert loaded == manifest
+
+    def test_load_rejects_foreign_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"format": "other"}))
+        with pytest.raises(ValueError, match="not a repro-run-manifest"):
+            RunManifest.load(path)
+
+    def test_load_rejects_unknown_version(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(
+            json.dumps({"format": "repro-run-manifest", "version": 99, "run_id": "x"})
+        )
+        with pytest.raises(ValueError, match="version"):
+            RunManifest.load(path)

@@ -1,0 +1,139 @@
+"""Unit tests for the metrics registry: instrument semantics + disabled mode."""
+
+import math
+import time
+
+import pytest
+
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    log_spaced_buckets,
+    set_registry,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        counter = Counter("c")
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(5)
+        assert counter.value == 6
+
+    def test_to_dict(self):
+        counter = Counter("c")
+        counter.inc(3)
+        assert counter.to_dict() == {"type": "counter", "value": 3}
+
+
+class TestGauge:
+    def test_set_overwrites(self):
+        gauge = Gauge("g")
+        gauge.set(10)
+        gauge.set(4)
+        assert gauge.value == 4
+        assert gauge.to_dict()["value"] == 4
+
+
+class TestLogSpacedBuckets:
+    def test_shape_and_spacing(self):
+        bounds = log_spaced_buckets(low=1e-3, decades=3, per_decade=1)
+        assert bounds == pytest.approx([1e-3, 1e-2, 1e-1, 1.0])
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            log_spaced_buckets(low=0.0)
+        with pytest.raises(ValueError):
+            log_spaced_buckets(decades=0)
+
+
+class TestHistogram:
+    def test_bucketing_is_by_upper_bound(self):
+        histogram = Histogram("h", bounds=[1.0, 10.0, 100.0])
+        for value in (0.5, 1.0, 5.0, 50.0, 500.0):
+            histogram.observe(value)
+        # <=1, <=10, <=100, overflow
+        assert histogram.bucket_counts == [2, 1, 1, 1]
+        assert histogram.count == 5
+        assert histogram.sum == pytest.approx(556.5)
+        assert histogram.min == 0.5
+        assert histogram.max == 500.0
+        assert histogram.mean == pytest.approx(556.5 / 5)
+
+    def test_empty_histogram_stats(self):
+        histogram = Histogram("h", bounds=[1.0])
+        assert math.isnan(histogram.mean)
+        snap = histogram.to_dict()
+        assert snap["min"] is None and snap["max"] is None
+
+    def test_rejects_unsorted_bounds(self):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            Histogram("h", bounds=[1.0, 1.0])
+
+    def test_default_bounds_are_log_spaced(self):
+        histogram = Histogram("h")
+        assert histogram.bounds == log_spaced_buckets()
+
+
+class TestTimer:
+    def test_observes_elapsed_when_enabled(self):
+        registry = MetricsRegistry(enabled=True)
+        with registry.timer("span.seconds"):
+            time.sleep(0.002)
+        histogram = registry.histogram("span.seconds")
+        assert histogram.count == 1
+        assert histogram.sum >= 0.002
+
+    def test_noop_when_disabled(self):
+        registry = MetricsRegistry(enabled=False)
+        with registry.timer("span.seconds"):
+            pass
+        assert registry.histogram("span.seconds").count == 0
+
+
+class TestMetricsRegistry:
+    def test_instruments_are_memoized_by_name(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.histogram("h") is registry.histogram("h")
+
+    def test_name_collision_across_kinds_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(TypeError, match="already registered"):
+            registry.gauge("x")
+
+    def test_snapshot_is_json_shaped_and_sorted(self):
+        registry = MetricsRegistry()
+        registry.counter("b.count").inc(2)
+        registry.gauge("a.level").set(7)
+        registry.histogram("c.h", bounds=[1.0]).observe(0.5)
+        snapshot = registry.snapshot()
+        assert list(snapshot) == ["a.level", "b.count", "c.h"]
+        assert snapshot["b.count"] == {"type": "counter", "value": 2}
+        assert snapshot["c.h"]["bucket_counts"] == [1, 0]
+
+    def test_reset_drops_state(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc()
+        registry.reset()
+        assert registry.snapshot() == {}
+        assert registry.counter("a").value == 0
+
+
+class TestGlobalRegistry:
+    def test_default_global_is_disabled(self):
+        assert get_registry().enabled is False
+
+    def test_set_registry_swaps_and_restores(self):
+        mine = MetricsRegistry(enabled=True)
+        previous = set_registry(mine)
+        try:
+            assert get_registry() is mine
+        finally:
+            assert set_registry(previous) is mine
+        assert get_registry() is previous

@@ -56,6 +56,57 @@ class TestRoundTrip:
         assert verify_trace(loaded, small_channel) == []
 
 
+class TestSchemaVersion:
+    def test_written_traces_carry_schema_version(self, small_channel, tmp_path):
+        from repro.sim.trace_io import SCHEMA_VERSION
+
+        trace = _execute(small_channel)
+        path = tmp_path / "trace.json"
+        save_trace(trace, path)
+        document = json.loads(path.read_text())
+        assert document["schema_version"] == SCHEMA_VERSION
+        assert document["version"] == SCHEMA_VERSION
+
+    def test_version_1_files_without_schema_version_still_load(self, tmp_path):
+        path = tmp_path / "v1.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "format": "repro-trace",
+                    "version": 1,
+                    "n": 2,
+                    "protocol_name": "legacy",
+                    "solved_round": 0,
+                    "rounds_executed": 1,
+                    "records": [],
+                }
+            )
+        )
+        loaded = load_trace(path)
+        assert loaded.protocol_name == "legacy"
+        assert loaded.solved
+
+    def test_unknown_top_level_fields_are_tolerated(self, tmp_path):
+        """Future writers may add fields; this reader must not choke."""
+        path = tmp_path / "future.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "format": "repro-trace",
+                    "version": 2,
+                    "schema_version": 2,
+                    "telemetry": {"sim.rounds": 17},
+                    "n": 1,
+                    "protocol_name": "x",
+                    "solved_round": None,
+                    "rounds_executed": 0,
+                    "records": [],
+                }
+            )
+        )
+        assert not load_trace(path).solved
+
+
 class TestValidation:
     def test_rejects_foreign_json(self, tmp_path):
         path = tmp_path / "bad.json"

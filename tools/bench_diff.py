@@ -1,0 +1,139 @@
+#!/usr/bin/env python
+"""Compare two ``repro-bench`` JSON records and flag regressions.
+
+Usage::
+
+    PYTHONPATH=src python tools/bench_diff.py BASELINE.json CANDIDATE.json \
+        [--threshold 0.25]
+
+Prints per-benchmark wall-time and rounds/sec deltas and exits non-zero
+when any benchmark present in both records regressed in wall time by more
+than ``--threshold`` (default 25%). Benchmarks present in only one record
+are reported but never fail the comparison — adding or retiring a
+benchmark is not a regression.
+
+This is the CI gate the perf trajectory in ``BENCH_core.json`` exists
+for: regenerate the candidate with ``benchmarks/harness.py`` and diff it
+against the committed baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, List, Optional
+
+
+def _fmt_seconds(value: Optional[float]) -> str:
+    if value is None:
+        return "-"
+    return f"{value * 1e3:.3f} ms"
+
+
+def _fmt_delta(delta: Optional[float]) -> str:
+    if delta is None:
+        return "-"
+    return f"{delta * 100:+.1f}%"
+
+
+def compare_records(
+    baseline: Dict[str, object],
+    candidate: Dict[str, object],
+    threshold: float = 0.25,
+) -> "tuple[List[List[str]], List[str]]":
+    """Diff two loaded bench documents.
+
+    Returns ``(rows, regressions)``: printable table rows for every
+    benchmark name in either record, and the names whose wall time
+    regressed beyond ``threshold``.
+    """
+    base = baseline["benchmarks"]
+    cand = candidate["benchmarks"]
+    rows: List[List[str]] = []
+    regressions: List[str] = []
+    for name in sorted(set(base) | set(cand)):
+        base_entry = base.get(name)
+        cand_entry = cand.get(name)
+        if base_entry is None:
+            rows.append([name, "-", _fmt_seconds(cand_entry["wall_time_s"]), "new", ""])
+            continue
+        if cand_entry is None:
+            rows.append([name, _fmt_seconds(base_entry["wall_time_s"]), "-", "removed", ""])
+            continue
+        base_time = float(base_entry["wall_time_s"])
+        cand_time = float(cand_entry["wall_time_s"])
+        delta = (cand_time - base_time) / base_time if base_time > 0 else None
+        verdict = "ok"
+        if delta is not None and delta > threshold:
+            verdict = "REGRESSION"
+            regressions.append(name)
+        rps_delta = None
+        base_rps = base_entry.get("rounds_per_sec")
+        cand_rps = cand_entry.get("rounds_per_sec")
+        if base_rps and cand_rps:
+            rps_delta = (float(cand_rps) - float(base_rps)) / float(base_rps)
+        rows.append(
+            [
+                name,
+                _fmt_seconds(base_time),
+                _fmt_seconds(cand_time),
+                _fmt_delta(delta),
+                _fmt_delta(rps_delta) if rps_delta is not None else "",
+                verdict,
+            ]
+        )
+    return rows, regressions
+
+
+def _print_table(rows: List[List[str]]) -> None:
+    header = ["benchmark", "baseline", "candidate", "wall Δ", "rounds/s Δ", "verdict"]
+    normalized = [row + [""] * (len(header) - len(row)) for row in rows]
+    widths = [
+        max(len(header[i]), *(len(row[i]) for row in normalized)) if normalized else len(header[i])
+        for i in range(len(header))
+    ]
+    print("  ".join(header[i].ljust(widths[i]) for i in range(len(header))))
+    print("  ".join("-" * widths[i] for i in range(len(header))))
+    for row in normalized:
+        print("  ".join(row[i].ljust(widths[i]) for i in range(len(header))))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python tools/bench_diff.py",
+        description="Diff two repro-bench JSON records; fail on wall-time regressions.",
+    )
+    parser.add_argument("baseline", help="baseline bench JSON (e.g. BENCH_core.json)")
+    parser.add_argument("candidate", help="candidate bench JSON to compare")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="allowed fractional wall-time regression (default 0.25 = 25%%)",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.obs.bench import load_bench_record
+
+    try:
+        baseline = load_bench_record(args.baseline)
+        candidate = load_bench_record(args.candidate)
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    rows, regressions = compare_records(baseline, candidate, threshold=args.threshold)
+    _print_table(rows)
+    if regressions:
+        print(
+            f"\nFAIL: {len(regressions)} benchmark(s) regressed more than "
+            f"{args.threshold * 100:.0f}%: {', '.join(regressions)}"
+        )
+        return 1
+    print(f"\nOK: no wall-time regression beyond {args.threshold * 100:.0f}%")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.path.insert(0, "src")
+    sys.exit(main())
