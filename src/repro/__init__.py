@@ -101,14 +101,22 @@ from repro.sim import (
     FastRunResult,
     RoundRecord,
     Simulation,
+    StaticDeploymentFactory,
     TrialStats,
+    UniformDiskFactory,
+    default_workers,
     fast_fixed_probability_run,
     generator_from,
+    get_default_workers,
     high_probability_budget,
     load_trace,
+    run_fast_trials,
     run_trials,
+    run_trials_parallel,
     save_trace,
+    set_default_workers,
     spawn_generators,
+    spawn_seed_sequences,
     verify_trace,
 )
 from repro.sinr import (
@@ -154,8 +162,10 @@ __all__ = [
     "SawtoothBackoffProtocol",
     "Simulation",
     "SlottedAlohaProtocol",
+    "StaticDeploymentFactory",
     "TelemetrySession",
     "TrialStats",
+    "UniformDiskFactory",
     "UniformSubsetPlayer",
     "ascii_histogram",
     "ascii_plot",
@@ -164,6 +174,8 @@ __all__ = [
     "clustered",
     "compare_round_counts",
     "contention_decay_rate",
+    "default_workers",
+    "get_default_workers",
     "deployment_stats",
     "exponential_chain",
     "fast_fixed_probability_run",
@@ -183,10 +195,14 @@ __all__ = [
     "load_trace",
     "mann_whitney_u",
     "play_hitting_game",
+    "run_fast_trials",
     "run_trials",
+    "run_trials_parallel",
+    "set_default_workers",
     "save_deployment",
     "save_trace",
     "spawn_generators",
+    "spawn_seed_sequences",
     "survival_curve",
     "verify_trace",
     "two_cluster",

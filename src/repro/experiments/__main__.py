@@ -9,6 +9,12 @@ summary scoreboard at the end — the same rows EXPERIMENTS.md records.
 structured run log, including per-experiment milestones and the runner's
 progress heartbeats) and ``metrics.json`` (the final counters/histograms
 snapshot from the instrumented hot paths). See docs/observability.md.
+
+``--workers N`` shards every trial batch across ``N`` worker processes
+(:mod:`repro.sim.parallel`). Seed sharding keeps results bit-identical
+to a serial run, so the flag is purely a wall-time lever; telemetry
+events from workers carry a ``worker_id`` field. See
+docs/parallelism.md.
 """
 
 from __future__ import annotations
@@ -62,7 +68,18 @@ def main(argv=None) -> int:
         help="enable telemetry and write manifest.json, metrics.json and "
         "events.jsonl into DIR (created if missing)",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="shard trial batches across N worker processes; results are "
+        "bit-identical to serial execution for any N (see "
+        "docs/parallelism.md)",
+    )
     args = parser.parse_args(argv)
+    if args.workers < 1:
+        parser.error(f"--workers must be positive (got {args.workers})")
 
     if args.experiment.lower() == "all":
         ids = sorted(REGISTRY, key=lambda e: int(e[1:]))
@@ -91,6 +108,7 @@ def main(argv=None) -> int:
             },
             config={
                 "preset": preset,
+                "workers": args.workers,
                 "experiments": {
                     experiment_id: dataclasses.asdict(config)
                     for experiment_id, config in configs.items()
@@ -99,23 +117,28 @@ def main(argv=None) -> int:
         )
         session.start()
 
+    from repro.experiments.common import default_workers
+
     scoreboard = []
     results = []
     try:
-        for experiment_id in ids:
-            if session is not None:
-                session.emit("experiment_start", experiment=experiment_id, preset=preset)
-            result, elapsed = _run_one(experiment_id, configs[experiment_id])
-            if session is not None:
-                session.emit(
-                    "experiment_end",
-                    experiment=experiment_id,
-                    passed=result.passed,
-                    elapsed_s=elapsed,
-                    checks={name: bool(ok) for name, ok in result.checks.items()},
-                )
-            scoreboard.append((experiment_id, result.passed, elapsed))
-            results.append(result)
+        with default_workers(args.workers):
+            for experiment_id in ids:
+                if session is not None:
+                    session.emit(
+                        "experiment_start", experiment=experiment_id, preset=preset
+                    )
+                result, elapsed = _run_one(experiment_id, configs[experiment_id])
+                if session is not None:
+                    session.emit(
+                        "experiment_end",
+                        experiment=experiment_id,
+                        passed=result.passed,
+                        elapsed_s=elapsed,
+                        checks={name: bool(ok) for name, ok in result.checks.items()},
+                    )
+                scoreboard.append((experiment_id, result.passed, elapsed))
+                results.append(result)
     except BaseException:
         if session is not None:
             session.finish(status="failed")

@@ -14,7 +14,23 @@ import csv
 from dataclasses import dataclass, field
 from typing import Dict, List, Sequence, Tuple
 
-__all__ = ["ExperimentResult", "format_table", "COST_HEADER"]
+from repro.sim.parallel import default_workers, get_default_workers
+
+__all__ = [
+    "ExperimentResult",
+    "format_table",
+    "COST_HEADER",
+    "default_workers",
+    "get_default_workers",
+]
+
+# ``default_workers`` / ``get_default_workers`` are re-exported here as the
+# experiments' one knob for trial parallelism: the CLI wraps a run in
+# ``with default_workers(args.workers):`` and every ``run_trials`` /
+# ``run_fast_trials`` call inside — none of which takes a worker count —
+# dispatches to the process pool. Experiments stay oblivious to
+# parallelism; the seed-sharding contract (docs/parallelism.md)
+# guarantees their numbers cannot change.
 
 #: Column names of the per-experiment cost table (see
 #: :attr:`ExperimentResult.timings`): sweep-point label, wall-clock

@@ -32,12 +32,9 @@ from typing import List
 import numpy as np
 
 from repro.analysis.fits import fit_models
-from repro.deploy.topologies import uniform_disk
 from repro.experiments.common import ExperimentResult
-from repro.sim.fast import fast_fixed_probability_run
+from repro.sim.parallel import UniformDiskFactory, run_fast_trials
 from repro.sim.runner import high_probability_budget
-from repro.sim.seeding import spawn_generators
-from repro.sinr.channel import SINRChannel
 from repro.sinr.parameters import SINRParameters
 
 TITLE = "the log n law at scale (vectorised fast path, n to 4096)"
@@ -77,28 +74,27 @@ def run(config: Config) -> ExperimentResult:
     means: List[float] = []
     for n in config.sizes:
         budget = 40 * high_probability_budget(n)
-        rounds = []
-        solved = 0
-        generators = spawn_generators((config.seed, n), 2 * config.trials)
-        for trial in range(config.trials):
-            deploy_rng = generators[2 * trial]
-            run_rng = generators[2 * trial + 1]
-            channel = SINRChannel(uniform_disk(n, deploy_rng), params=params)
-            outcome = fast_fixed_probability_run(
-                channel, config.p, run_rng, max_rounds=budget
-            )
-            if outcome.solved:
-                solved += 1
-                rounds.append(outcome.rounds_to_solve)
-        rounds = np.asarray(rounds, dtype=np.float64)
+        # run_fast_trials derives trial generators from ((seed, n), trial)
+        # exactly as this experiment always did, so the sweep's numbers are
+        # unchanged — but it adds cost telemetry and honours the CLI's
+        # --workers sharding (docs/parallelism.md).
+        stats = run_fast_trials(
+            UniformDiskFactory(n, params=params),
+            config.p,
+            trials=config.trials,
+            seed=(config.seed, n),
+            max_rounds=budget,
+        )
+        rounds = np.asarray(stats.rounds, dtype=np.float64)
         means.append(float(rounds.mean()))
+        result.add_timing(f"n={n}", stats.total_wall_time, stats.rounds_per_second)
         result.rows.append(
             [
                 n,
                 config.trials,
                 float(rounds.mean()),
                 float(np.percentile(rounds, 95)),
-                solved / config.trials,
+                stats.solve_rate,
             ]
         )
 

@@ -39,6 +39,7 @@ from repro.obs.events import (
     EventSink,
     JsonlEventSink,
     NullEventSink,
+    QueueEventSink,
     get_sink,
     read_events,
     set_sink,
@@ -64,6 +65,7 @@ __all__ = [
     "JsonlEventSink",
     "MetricsRegistry",
     "NullEventSink",
+    "QueueEventSink",
     "RunManifest",
     "TelemetrySession",
     "Timer",

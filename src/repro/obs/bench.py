@@ -74,12 +74,22 @@ def _setup(n: int):
     return positions, SINRChannel(positions)
 
 
-def core_benchmarks(n: int = 512, fast_n: int = 2048) -> List[Tuple[str, BenchFn]]:
+def core_benchmarks(
+    n: int = 512, fast_n: int = 2048, parallel_trials: int = 32
+) -> List[Tuple[str, BenchFn]]:
     """The named hot-path benchmarks, mirroring bench_core_microbenchmarks.
 
     ``n`` sizes the generic-engine workloads; ``fast_n`` sizes the
     vectorised fast-path execution (kept larger because that is the
-    scaling-study regime it exists for). Tests shrink both.
+    scaling-study regime it exists for). ``parallel_trials`` sizes the
+    ``parallel_trials_w{1,2,4}`` scaling benchmarks — the same large-``n``
+    fast-path trial batch sharded over 1/2/4 worker processes
+    (:mod:`repro.sim.parallel`), so the record tracks parallel speedup
+    over time. Those entries carry ``workers`` and ``cpu_count``; the
+    w4/w1 wall-time ratio is only meaningful relative to ``cpu_count``
+    (a 1-core machine correctly reports ~1x), which is why
+    ``tools/bench_diff.py`` reports but never gates it. Tests shrink all
+    three knobs.
     """
     from repro.analysis.linkclasses import link_class_partition
     from repro.protocols.simple import FixedProbabilityProtocol
@@ -140,12 +150,41 @@ def core_benchmarks(n: int = 512, fast_n: int = 2048) -> List[Tuple[str, BenchFn
         partition = link_class_partition(distances, np.ones(n, dtype=bool))
         return {"classes": len(set(partition.class_of))}
 
+    import os
+
+    from repro.sim.parallel import StaticDeploymentFactory, run_fast_trials
+
+    fast_positions, _ = _setup(fast_n)
+    parallel_factory = StaticDeploymentFactory(fast_positions)
+
+    def parallel_trials_bench(workers: int) -> BenchFn:
+        def bench() -> Dict[str, float]:
+            stats = run_fast_trials(
+                parallel_factory,
+                p=0.1,
+                trials=parallel_trials,
+                seed=1005,
+                max_rounds=50_000,
+                workers=workers,
+            )
+            return {
+                "rounds": stats.total_rounds_executed,
+                "trials": stats.trials,
+                "workers": workers,
+                "cpu_count": os.cpu_count() or 1,
+            }
+
+        return bench
+
     return [
         ("gain_matrix_construction", gain_matrix_construction),
         ("single_round_resolve", single_round_resolve),
         ("full_execution_engine", full_execution_engine),
         ("fast_path_execution", fast_path_execution),
         ("link_class_partition", link_class_partition_cost),
+        ("parallel_trials_w1", parallel_trials_bench(1)),
+        ("parallel_trials_w2", parallel_trials_bench(2)),
+        ("parallel_trials_w4", parallel_trials_bench(4)),
     ]
 
 
@@ -232,10 +271,19 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--fast-n", type=int, default=2048, help="node count for the fast path"
     )
+    parser.add_argument(
+        "--parallel-trials",
+        type=int,
+        default=32,
+        help="trial count for the parallel_trials_w{1,2,4} scaling benchmarks",
+    )
     args = parser.parse_args(argv)
 
     results = run_benchmarks(
-        core_benchmarks(n=args.n, fast_n=args.fast_n), repeats=args.repeats
+        core_benchmarks(
+            n=args.n, fast_n=args.fast_n, parallel_trials=args.parallel_trials
+        ),
+        repeats=args.repeats,
     )
     write_bench_record(results, args.output)
     width = max(len(name) for name in results)

@@ -27,6 +27,7 @@ __all__ = [
     "EventSink",
     "JsonlEventSink",
     "NullEventSink",
+    "QueueEventSink",
     "get_sink",
     "set_sink",
     "read_events",
@@ -80,6 +81,30 @@ class JsonlEventSink(EventSink):
     def close(self) -> None:
         if not self._handle.closed:
             self._handle.close()
+
+
+class QueueEventSink(EventSink):
+    """Forwards events across a process boundary, tagged with ``worker_id``.
+
+    :mod:`repro.sim.parallel` installs one of these as a worker process's
+    global sink: every event the worker emits is wrapped as an
+    ``("event", worker_id, kind, fields)`` message on a multiprocessing
+    queue, and the parent re-emits it into the real (e.g. JSONL) sink.
+    The ``worker_id`` field is injected into the event unless the emitter
+    already set one, so worker-originated lines in ``events.jsonl`` are
+    always attributable. ``queue`` only needs a ``put`` method, which
+    keeps the class trivially testable in-process.
+    """
+
+    def __init__(self, queue, worker_id: int) -> None:
+        self.queue = queue
+        self.worker_id = worker_id
+        self.events_forwarded = 0
+
+    def emit(self, kind: str, **fields) -> None:
+        fields.setdefault("worker_id", self.worker_id)
+        self.queue.put(("event", self.worker_id, kind, fields))
+        self.events_forwarded += 1
 
 
 def read_events(path: PathLike) -> List[Dict[str, object]]:

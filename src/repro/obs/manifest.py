@@ -10,6 +10,7 @@ record, then finalised on exit.
 from __future__ import annotations
 
 import json
+import os
 import platform
 import subprocess
 import sys
@@ -65,6 +66,10 @@ def collect_environment() -> Dict[str, str]:
         "numpy_version": numpy.__version__,
         "platform": platform.platform(),
         "machine": platform.machine(),
+        # Parallel-scaling numbers (--workers, the parallel_trials_w*
+        # benchmarks) are only interpretable relative to the cores the
+        # run actually had.
+        "cpu_count": str(os.cpu_count() or 1),
         "executable": sys.executable,
     }
 

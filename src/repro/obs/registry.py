@@ -133,6 +133,26 @@ class Histogram:
     def mean(self) -> float:
         return self.sum / self.count if self.count else float("nan")
 
+    def merge(self, snapshot: Dict[str, object]) -> None:
+        """Fold another histogram's ``to_dict`` snapshot into this one.
+
+        Requires identical bucket boundaries — which the fixed log-spaced
+        defaults guarantee across processes. This is how the parallel
+        runner folds worker-side histograms into the parent registry.
+        """
+        if list(snapshot["bounds"]) != self.bounds:
+            raise ValueError(
+                f"cannot merge histogram {self.name!r}: bucket bounds differ"
+            )
+        for index, count in enumerate(snapshot["bucket_counts"]):
+            self.bucket_counts[index] += int(count)
+        self.count += int(snapshot["count"])
+        self.sum += float(snapshot["sum"])
+        if snapshot.get("min") is not None:
+            self.min = min(self.min, float(snapshot["min"]))
+        if snapshot.get("max") is not None:
+            self.max = max(self.max, float(snapshot["max"]))
+
     def to_dict(self) -> Dict[str, object]:
         return {
             "type": "histogram",
@@ -225,6 +245,30 @@ class MetricsRegistry:
         with self._lock:
             items = sorted(self._instruments.items())
         return {name: instrument.to_dict() for name, instrument in items}
+
+    def merge_snapshot(self, snapshot: Dict[str, Dict[str, object]]) -> None:
+        """Fold a ``snapshot()`` from another registry into this one.
+
+        Counters add, histograms merge bucket-wise (identical bounds
+        required), gauges take the incoming value (last write wins — a
+        point-in-time reading has no meaningful cross-process sum).
+        Worker processes in :mod:`repro.sim.parallel` record into local
+        registries and ship their snapshots back; merging them here keeps
+        a telemetry session's ``metrics.json`` totals identical to a
+        serial run's.
+        """
+        for name, data in snapshot.items():
+            kind = data.get("type")
+            if kind == "counter":
+                self.counter(name).inc(int(data["value"]))
+            elif kind == "gauge":
+                self.gauge(name).set(data["value"])
+            elif kind == "histogram":
+                self.histogram(name, data["bounds"]).merge(data)
+            else:
+                raise ValueError(
+                    f"cannot merge metric {name!r}: unknown type {kind!r}"
+                )
 
     def reset(self) -> None:
         """Drop every instrument (state and registration)."""

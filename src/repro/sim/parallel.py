@@ -1,0 +1,623 @@
+"""Parallel trial execution with bit-exact seed sharding.
+
+Every quantitative claim in the paper is statistical, so wall time per
+claim is dominated by how fast independent trials can be executed.
+:func:`run_trials_parallel` shards a trial batch across a
+``multiprocessing`` worker pool while preserving **bit-exact
+reproducibility**: for any worker count ``k``,
+
+    ``run_trials_parallel(seed=s, workers=k)``
+
+returns the same per-trial ``rounds`` / ``failures`` as the serial
+``run_trials(seed=s)``. The test suite pins this parity.
+
+The seed-sharding contract
+--------------------------
+
+The serial runner derives trial ``t``'s two generators (deployment and
+protocol) from children ``2t`` and ``2t + 1`` of one
+:class:`~numpy.random.SeedSequence` tree rooted at ``seed``. The parallel
+runner spawns the *same* tree in the parent
+(:func:`repro.sim.seeding.spawn_seed_sequences`), partitions the trial
+indices into contiguous shards (shard ``i`` of ``k`` owns trials
+``[i * q + min(i, r), ...)`` where ``q, r = divmod(trials, k)``), and
+ships each worker its trials' child ``SeedSequence`` objects — tiny,
+picklable, and independent of every other child. A worker rebuilds
+``default_rng(child)`` locally, so the entropy a trial consumes is a pure
+function of ``(seed, trial_index)`` and never of the worker count, the
+shard layout or the scheduling order. Results are reassembled in trial
+order.
+
+Workers execute :func:`repro.sim.runner.execute_trial` — the *same*
+function the serial loop runs — so behavioural parity holds by
+construction.
+
+Spawn safety
+------------
+
+Task specs are plain picklable dataclasses and the worker entry point is
+a module-level function, so every start method works — including
+``spawn``, which pickles everything. The default start method is the
+platform's (``fork`` on Linux), under which closure-based channel
+factories also work; for ``spawn``, use picklable factories such as
+:class:`StaticDeploymentFactory` / :class:`UniformDiskFactory` or any
+module-level callable.
+
+Telemetry across the process boundary
+-------------------------------------
+
+When the parent's registry is enabled, each worker installs a local
+enabled :class:`~repro.obs.registry.MetricsRegistry` and a
+:class:`~repro.obs.events.QueueEventSink` that forwards every event it
+emits — tagged with a ``worker_id`` field — through the result queue into
+the parent's global sink. Per-trial timings stream back the same way; the
+parent feeds the ``runner.*`` counters, emits the ~1 Hz
+``trials_progress`` heartbeats (with a ``workers`` field) and, when each
+shard finishes, merges the worker's metrics snapshot into its own
+registry (:meth:`~repro.obs.registry.MetricsRegistry.merge_snapshot`) so
+``metrics.json`` totals match a serial run.
+
+Deterministic deployments
+-------------------------
+
+A channel factory may declare ``deterministic = True`` (see
+:data:`DETERMINISTIC_ATTR`) to promise it ignores its ``rng`` argument
+and returns an equivalent, reusable channel every call. Both runners then
+build the channel **once per shard** instead of once per trial, so the
+precomputed gain matrix (``base_gains``) is shipped/constructed once and
+shared read-only by every trial in the shard — this is what keeps the
+vectorised fast path's advantage when the deployment is fixed.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import multiprocessing
+import queue as queue_module
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.obs.events import QueueEventSink, get_sink, set_sink
+from repro.obs.registry import MetricsRegistry, get_registry, set_registry
+from repro.protocols.base import ProtocolFactory
+from repro.sim.fast import fast_fixed_probability_run
+from repro.sim.runner import ChannelFactory, TrialStats, execute_trial
+from repro.sim.seeding import SeedLike, spawn_seed_sequences
+
+__all__ = [
+    "DETERMINISTIC_ATTR",
+    "StaticDeploymentFactory",
+    "UniformDiskFactory",
+    "default_workers",
+    "get_default_workers",
+    "set_default_workers",
+    "partition_trials",
+    "run_trials_parallel",
+    "run_fast_trials",
+]
+
+#: Name of the opt-in attribute a channel factory sets (``True``) to
+#: declare the deterministic-deployment contract: the factory ignores its
+#: ``rng`` argument and the returned channel is reusable across trials
+#: (deterministic gain model, no per-trial internal state). Runners then
+#: construct the channel once per shard and share it read-only.
+DETERMINISTIC_ATTR = "deterministic"
+
+#: Seconds between ``trials_progress`` heartbeat events (matches the
+#: serial runner's cadence).
+_HEARTBEAT_SECONDS = 1.0
+
+#: Seconds the parent waits on the result queue before re-checking worker
+#: liveness.
+_POLL_SECONDS = 0.2
+
+
+# ---------------------------------------------------------------------------
+# Worker-count default (the `--workers` CLI plumbing)
+
+_default_worker_count = 1
+
+
+def get_default_workers() -> int:
+    """The process-wide default worker count ``run_trials`` falls back to."""
+    return _default_worker_count
+
+
+def set_default_workers(workers: int) -> int:
+    """Install a new default worker count; returns the previous one."""
+    global _default_worker_count
+    if workers < 1:
+        raise ValueError(f"workers must be positive (got {workers})")
+    previous = _default_worker_count
+    _default_worker_count = workers
+    return previous
+
+
+@contextlib.contextmanager
+def default_workers(workers: int):
+    """Scope a default worker count to a ``with`` block.
+
+    ``python -m repro.experiments <id> --workers N`` wraps the experiment
+    run in this context, so every ``run_trials`` call inside — none of
+    which knows about worker counts — dispatches to the pool.
+    """
+    previous = set_default_workers(workers)
+    try:
+        yield
+    finally:
+        set_default_workers(previous)
+
+
+# ---------------------------------------------------------------------------
+# Picklable channel factories
+
+@dataclass(frozen=True)
+class StaticDeploymentFactory:
+    """Channel factory for one fixed deployment — spawn-safe and shared.
+
+    Carries the node ``positions`` (and optional
+    :class:`~repro.sinr.parameters.SINRParameters`) instead of a built
+    channel, so pickling a task spec ships coordinates, not an ``n x n``
+    gain matrix; each shard reconstructs the channel (and its
+    ``base_gains``) exactly once and reuses it for every trial.
+    """
+
+    positions: np.ndarray
+    params: Optional[object] = None
+
+    deterministic = True
+
+    def __call__(self, rng: Optional[np.random.Generator]) -> object:
+        from repro.sinr.channel import SINRChannel
+
+        if self.params is None:
+            return SINRChannel(np.asarray(self.positions, dtype=float))
+        return SINRChannel(np.asarray(self.positions, dtype=float), params=self.params)
+
+
+@dataclass(frozen=True)
+class UniformDiskFactory:
+    """Channel factory resampling a uniform-disk deployment per trial.
+
+    The picklable equivalent of the ``lambda rng: SINRChannel(
+    uniform_disk(n, rng), ...)`` closures the experiments use — needed
+    whenever tasks must cross a ``spawn`` process boundary.
+    """
+
+    n: int
+    params: Optional[object] = None
+
+    def __call__(self, rng: np.random.Generator) -> object:
+        from repro.deploy.topologies import uniform_disk
+        from repro.sinr.channel import SINRChannel
+
+        positions = uniform_disk(self.n, rng)
+        if self.params is None:
+            return SINRChannel(positions)
+        return SINRChannel(positions, params=self.params)
+
+
+# ---------------------------------------------------------------------------
+# Sharding
+
+def partition_trials(trials: int, shards: int) -> List[List[int]]:
+    """Partition trial indices ``0..trials-1`` into contiguous shards.
+
+    Shard sizes differ by at most one (the first ``trials % shards``
+    shards get the extra trial); empty shards are never produced — the
+    effective shard count is ``min(trials, shards)``. The layout is part
+    of the documented seed-sharding contract (docs/parallelism.md), but
+    results never depend on it: trials carry their index and are
+    reassembled in order.
+    """
+    if trials < 1:
+        raise ValueError(f"trials must be positive (got {trials})")
+    if shards < 1:
+        raise ValueError(f"shards must be positive (got {shards})")
+    shards = min(shards, trials)
+    quotient, remainder = divmod(trials, shards)
+    partition: List[List[int]] = []
+    start = 0
+    for index in range(shards):
+        size = quotient + (1 if index < remainder else 0)
+        partition.append(list(range(start, start + size)))
+        start += size
+    return partition
+
+
+@dataclass
+class _ShardSpec:
+    """Everything one worker needs — deliberately pickle-friendly."""
+
+    worker_id: int
+    mode: str  # "engine" | "fast"
+    channel_factory: ChannelFactory
+    max_rounds: int
+    keep_traces: bool
+    recording: bool
+    #: ``(trial_index, deploy_seed, protocol_seed)`` triples.
+    entries: List[Tuple[int, np.random.SeedSequence, np.random.SeedSequence]] = field(
+        default_factory=list
+    )
+    protocol: Optional[ProtocolFactory] = None  # engine mode
+    p: float = 0.0  # fast mode
+
+
+def _shard_worker(spec: _ShardSpec, results) -> None:
+    """Worker entry point: run one shard, stream results through ``results``.
+
+    Module-level (hence picklable) so it works under every start method.
+    Exceptions are shipped back as ``("error", ...)`` messages instead of
+    dying silently.
+    """
+    try:
+        registry = None
+        if spec.recording:
+            registry = MetricsRegistry(enabled=True)
+            set_registry(registry)
+            sink = QueueEventSink(results, spec.worker_id)
+            set_sink(sink)
+            sink.emit("worker_start", trials=len(spec.entries), mode=spec.mode)
+
+        shared_channel = None
+        if getattr(spec.channel_factory, DETERMINISTIC_ATTR, False):
+            shared_channel = spec.channel_factory(None)
+
+        for trial_index, deploy_seed, protocol_seed in spec.entries:
+            deploy_rng = np.random.default_rng(deploy_seed)
+            protocol_rng = np.random.default_rng(protocol_seed)
+            started = time.perf_counter()
+            if spec.mode == "engine":
+                trace = execute_trial(
+                    spec.channel_factory,
+                    spec.protocol,
+                    deploy_rng,
+                    protocol_rng,
+                    spec.max_rounds,
+                    spec.keep_traces,
+                    channel=shared_channel,
+                )
+                payload = {
+                    "trial": trial_index,
+                    "solved": trace.solved,
+                    "rounds_to_solve": trace.rounds_to_solve,
+                    "rounds_executed": trace.rounds_executed,
+                    "elapsed": time.perf_counter() - started,
+                    "trace": trace if spec.keep_traces else None,
+                }
+            else:
+                channel = (
+                    shared_channel
+                    if shared_channel is not None
+                    else spec.channel_factory(deploy_rng)
+                )
+                outcome = fast_fixed_probability_run(
+                    channel, spec.p, protocol_rng, max_rounds=spec.max_rounds
+                )
+                payload = {
+                    "trial": trial_index,
+                    "solved": outcome.solved,
+                    "rounds_to_solve": outcome.rounds_to_solve,
+                    "rounds_executed": outcome.rounds_executed,
+                    "elapsed": time.perf_counter() - started,
+                    "trace": None,
+                }
+            results.put(("trial", spec.worker_id, payload))
+
+        if spec.recording:
+            results.put(("metrics", spec.worker_id, registry.snapshot()))
+        results.put(("done", spec.worker_id))
+    except BaseException:
+        results.put(("error", spec.worker_id, traceback.format_exc()))
+
+
+def _execute_sharded(
+    mode: str,
+    channel_factory: ChannelFactory,
+    trials: int,
+    seed: SeedLike,
+    max_rounds: int,
+    keep_traces: bool,
+    workers: int,
+    start_method: Optional[str],
+    protocol: Optional[ProtocolFactory],
+    p: float,
+    protocol_name: str,
+) -> TrialStats:
+    """Shared parent-side machinery for both execution modes."""
+    obs = get_registry()
+    recording = obs.enabled
+    sink = get_sink() if recording else None
+
+    sequences = spawn_seed_sequences(seed, 2 * trials)
+    shards = partition_trials(trials, workers)
+    context = multiprocessing.get_context(start_method)
+    results = context.Queue()
+    specs = [
+        _ShardSpec(
+            worker_id=worker_id,
+            mode=mode,
+            channel_factory=channel_factory,
+            max_rounds=max_rounds,
+            keep_traces=keep_traces,
+            recording=recording,
+            entries=[
+                (trial, sequences[2 * trial], sequences[2 * trial + 1])
+                for trial in shard
+            ],
+            protocol=protocol,
+            p=p,
+        )
+        for worker_id, shard in enumerate(shards)
+    ]
+
+    batch_started = time.perf_counter()
+    processes = [
+        context.Process(target=_shard_worker, args=(spec, results), daemon=True)
+        for spec in specs
+    ]
+    for process in processes:
+        process.start()
+
+    outcomes: Dict[int, Dict[str, object]] = {}
+    pending = {spec.worker_id for spec in specs}
+    last_heartbeat = batch_started
+    failure: Optional[str] = None
+    try:
+        while pending:
+            try:
+                message = results.get(timeout=_POLL_SECONDS)
+            except queue_module.Empty:
+                dead = [
+                    process
+                    for worker_id, process in enumerate(processes)
+                    if worker_id in pending and process.exitcode not in (None, 0)
+                ]
+                if dead:
+                    failure = (
+                        f"worker process exited with code {dead[0].exitcode} "
+                        "before reporting results"
+                    )
+                    break
+                continue
+            kind = message[0]
+            if kind == "trial":
+                payload = message[2]
+                outcomes[payload["trial"]] = payload
+                if recording:
+                    obs.counter("runner.trials").inc()
+                    obs.counter(
+                        "runner.solved" if payload["solved"] else "runner.failures"
+                    ).inc()
+                    obs.histogram("runner.trial_seconds").observe(payload["elapsed"])
+                    now = time.perf_counter()
+                    if now - last_heartbeat >= _HEARTBEAT_SECONDS:
+                        last_heartbeat = now
+                        _emit_progress(
+                            sink, protocol_name, outcomes, trials, len(shards),
+                            now - batch_started,
+                        )
+            elif kind == "event":
+                if sink is not None:
+                    sink.emit(message[2], **message[3])
+            elif kind == "metrics":
+                if recording:
+                    obs.merge_snapshot(message[2])
+            elif kind == "done":
+                pending.discard(message[1])
+            elif kind == "error":
+                failure = message[2]
+                break
+    finally:
+        if failure is not None:
+            for process in processes:
+                if process.is_alive():
+                    process.terminate()
+        for process in processes:
+            process.join()
+        results.close()
+
+    if failure is not None:
+        raise RuntimeError(f"parallel trial worker failed:\n{failure}")
+    if len(outcomes) != trials:
+        raise RuntimeError(
+            f"parallel run lost trials: expected {trials}, got {len(outcomes)}"
+        )
+
+    total_wall_time = time.perf_counter() - batch_started
+    rounds: List[int] = []
+    failures = 0
+    traces = [] if keep_traces else None
+    total_rounds_executed = 0
+    for trial in range(trials):
+        payload = outcomes[trial]
+        total_rounds_executed += payload["rounds_executed"]
+        if payload["solved"]:
+            rounds.append(payload["rounds_to_solve"])
+        else:
+            failures += 1
+        if keep_traces:
+            traces.append(payload["trace"])
+
+    if recording:
+        _emit_progress(
+            sink, protocol_name, outcomes, trials, len(shards), total_wall_time
+        )
+
+    return TrialStats(
+        protocol_name=protocol_name,
+        trials=trials,
+        rounds=rounds,
+        failures=failures,
+        traces=traces,
+        total_wall_time=total_wall_time,
+        total_rounds_executed=total_rounds_executed,
+    )
+
+
+def _emit_progress(sink, protocol_name, outcomes, trials, workers, elapsed) -> None:
+    solved = sum(1 for payload in outcomes.values() if payload["solved"])
+    sink.emit(
+        "trials_progress",
+        protocol=protocol_name,
+        done=len(outcomes),
+        total=trials,
+        solved=solved,
+        failures=len(outcomes) - solved,
+        elapsed_s=elapsed,
+        workers=workers,
+    )
+
+
+def run_trials_parallel(
+    channel_factory: ChannelFactory,
+    protocol: ProtocolFactory,
+    trials: int,
+    seed: SeedLike = 0,
+    max_rounds: int = 100_000,
+    keep_traces: bool = False,
+    workers: int = 2,
+    start_method: Optional[str] = None,
+) -> TrialStats:
+    """Shard ``trials`` across ``workers`` processes; bit-identical results.
+
+    Drop-in parallel equivalent of :func:`repro.sim.runner.run_trials`:
+    same arguments, same :class:`~repro.sim.runner.TrialStats` (only the
+    wall-time fields reflect the parallel schedule). ``start_method``
+    picks the ``multiprocessing`` start method (``None`` = platform
+    default; ``"spawn"`` requires picklable ``channel_factory`` and
+    ``protocol`` — see the module docstring).
+    """
+    if trials < 1:
+        raise ValueError(f"trials must be positive (got {trials})")
+    if workers < 1:
+        raise ValueError(f"workers must be positive (got {workers})")
+    if workers == 1 or trials == 1:
+        from repro.sim.runner import run_trials
+
+        return run_trials(
+            channel_factory,
+            protocol,
+            trials,
+            seed=seed,
+            max_rounds=max_rounds,
+            keep_traces=keep_traces,
+            workers=1,
+        )
+    return _execute_sharded(
+        "engine",
+        channel_factory,
+        trials,
+        seed,
+        max_rounds,
+        keep_traces,
+        workers,
+        start_method,
+        protocol,
+        0.0,
+        protocol.name,
+    )
+
+
+def run_fast_trials(
+    channel_factory: ChannelFactory,
+    p: float,
+    trials: int,
+    seed: SeedLike = 0,
+    max_rounds: int = 100_000,
+    workers: Optional[int] = None,
+    start_method: Optional[str] = None,
+) -> TrialStats:
+    """Repeat :func:`~repro.sim.fast.fast_fixed_probability_run` over trials.
+
+    The fast-path sibling of :func:`~repro.sim.runner.run_trials`: the
+    same ``(seed, trial)`` generator tree (children ``2t`` / ``2t + 1``
+    for deployment and coin flips), the same ``runner.*`` telemetry and
+    heartbeats, the same :class:`~repro.sim.runner.TrialStats` — but each
+    trial is one vectorised execution of the paper's algorithm instead of
+    a generic-engine run. Large-``n`` scaling studies (E17, the parallel
+    benchmarks) live here.
+
+    ``workers > 1`` shards trials exactly like ``run_trials_parallel``;
+    with a :data:`deterministic <DETERMINISTIC_ATTR>` factory the channel
+    (and its gain matrix) is built once per shard and shared read-only.
+    """
+    if not 0.0 < p <= 1.0:
+        raise ValueError(f"broadcast probability must be in (0, 1] (got {p})")
+    if trials < 1:
+        raise ValueError(f"trials must be positive (got {trials})")
+    if workers is None:
+        workers = get_default_workers()
+    if workers < 1:
+        raise ValueError(f"workers must be positive (got {workers})")
+    name = f"fast-simple(p={p:g})"
+    if workers > 1 and trials > 1:
+        return _execute_sharded(
+            "fast",
+            channel_factory,
+            trials,
+            seed,
+            max_rounds,
+            False,
+            workers,
+            start_method,
+            None,
+            p,
+            name,
+        )
+
+    obs = get_registry()
+    recording = obs.enabled
+    sink = get_sink() if recording else None
+    last_heartbeat = time.perf_counter()
+
+    shared_channel = None
+    if getattr(channel_factory, DETERMINISTIC_ATTR, False):
+        shared_channel = channel_factory(None)
+    sequences = spawn_seed_sequences(seed, 2 * trials)
+    rounds: List[int] = []
+    failures = 0
+    total_rounds_executed = 0
+    batch_started = time.perf_counter()
+    for trial in range(trials):
+        deploy_rng = np.random.default_rng(sequences[2 * trial])
+        run_rng = np.random.default_rng(sequences[2 * trial + 1])
+        trial_started = time.perf_counter()
+        channel = shared_channel if shared_channel is not None else channel_factory(deploy_rng)
+        outcome = fast_fixed_probability_run(channel, p, run_rng, max_rounds=max_rounds)
+        trial_elapsed = time.perf_counter() - trial_started
+        total_rounds_executed += outcome.rounds_executed
+        if outcome.solved:
+            rounds.append(outcome.rounds_to_solve)
+        else:
+            failures += 1
+        if recording:
+            obs.counter("runner.trials").inc()
+            obs.counter("runner.solved" if outcome.solved else "runner.failures").inc()
+            obs.histogram("runner.trial_seconds").observe(trial_elapsed)
+            now = time.perf_counter()
+            if now - last_heartbeat >= _HEARTBEAT_SECONDS or trial == trials - 1:
+                last_heartbeat = now
+                sink.emit(
+                    "trials_progress",
+                    protocol=name,
+                    done=trial + 1,
+                    total=trials,
+                    solved=len(rounds),
+                    failures=failures,
+                    elapsed_s=now - batch_started,
+                )
+
+    return TrialStats(
+        protocol_name=name,
+        trials=trials,
+        rounds=rounds,
+        failures=failures,
+        traces=None,
+        total_wall_time=time.perf_counter() - batch_started,
+        total_rounds_executed=total_rounds_executed,
+    )

@@ -23,7 +23,12 @@ from repro.sim.engine import Simulation
 from repro.sim.seeding import SeedLike, spawn_generators
 from repro.sim.trace import ExecutionTrace
 
-__all__ = ["TrialStats", "run_trials", "high_probability_budget"]
+__all__ = [
+    "TrialStats",
+    "execute_trial",
+    "run_trials",
+    "high_probability_budget",
+]
 
 #: Builds a fresh channel for one trial. Receives the trial's generator so
 #: stochastic deployments are resampled per trial; deterministic workloads
@@ -87,8 +92,14 @@ class TrialStats:
 
     @property
     def rounds_per_second(self) -> float:
-        """Simulated rounds per wall-clock second over the whole batch."""
-        if self.total_wall_time <= 0.0:
+        """Simulated rounds per wall-clock second over the whole batch.
+
+        ``nan`` whenever the ratio is undefined — a zero, negative or
+        ``nan`` wall time (empty or instantly-failing batches can clock
+        below timer resolution) never propagates a division error or an
+        ``inf`` into reports.
+        """
+        if math.isnan(self.total_wall_time) or self.total_wall_time <= 0.0:
             return float("nan")
         return self.total_rounds_executed / self.total_wall_time
 
@@ -104,6 +115,38 @@ class TrialStats:
         )
 
 
+def execute_trial(
+    channel_factory: ChannelFactory,
+    protocol: ProtocolFactory,
+    deploy_rng: np.random.Generator,
+    protocol_rng: np.random.Generator,
+    max_rounds: int,
+    keep_trace: bool,
+    channel: Optional[object] = None,
+) -> ExecutionTrace:
+    """Execute exactly one trial — the unit both runners share.
+
+    This is the serial runner's loop body, factored out so
+    :mod:`repro.sim.parallel` workers run *this exact code* and parity
+    between serial and sharded execution holds by construction, not by
+    coincidence. ``channel`` short-circuits the factory for deterministic
+    deployments whose channel is safely reusable across trials (see
+    :data:`~repro.sim.parallel.DETERMINISTIC_ATTR`).
+    """
+    if channel is None:
+        channel = channel_factory(deploy_rng)
+    nodes = protocol.build(channel.n)
+    simulation = Simulation(
+        channel,
+        nodes,
+        rng=protocol_rng,
+        max_rounds=max_rounds,
+        keep_records=keep_trace,
+        protocol_name=protocol.name,
+    )
+    return simulation.run()
+
+
 def run_trials(
     channel_factory: ChannelFactory,
     protocol: ProtocolFactory,
@@ -111,6 +154,7 @@ def run_trials(
     seed: SeedLike = 0,
     max_rounds: int = 100_000,
     keep_traces: bool = False,
+    workers: Optional[int] = None,
 ) -> TrialStats:
     """Run ``trials`` independent executions and summarise them.
 
@@ -118,6 +162,14 @@ def run_trials(
     one for the channel factory (deployment sampling, fading) and one for
     the protocol's coin flips — so deployment randomness and protocol
     randomness can be varied independently in ablations.
+
+    ``workers`` shards the trials across a process pool
+    (:func:`repro.sim.parallel.run_trials_parallel`) while preserving
+    bit-exact per-trial results: the seed tree is partitioned so that any
+    worker count returns the same ``rounds`` / ``failures`` as serial
+    execution. ``None`` consults the process default installed by
+    :func:`repro.sim.parallel.default_workers` (the ``--workers`` CLI
+    flag); ``1`` is the plain serial loop.
 
     Every trial is individually timed; the resulting
     :attr:`TrialStats.total_wall_time` and
@@ -128,6 +180,22 @@ def run_trials(
     """
     if trials < 1:
         raise ValueError(f"trials must be positive (got {trials})")
+    if workers is None:
+        from repro.sim.parallel import get_default_workers
+
+        workers = get_default_workers()
+    if workers > 1 and trials > 1:
+        from repro.sim.parallel import run_trials_parallel
+
+        return run_trials_parallel(
+            channel_factory,
+            protocol,
+            trials,
+            seed=seed,
+            max_rounds=max_rounds,
+            keep_traces=keep_traces,
+            workers=workers,
+        )
     rounds: List[int] = []
     failures = 0
     traces: List[ExecutionTrace] = [] if keep_traces else None
@@ -138,23 +206,24 @@ def run_trials(
     sink = get_sink() if recording else None
     last_heartbeat = time.perf_counter()
 
+    shared_channel = None
+    if getattr(channel_factory, "deterministic", False):
+        shared_channel = channel_factory(None)
     generators = spawn_generators(seed, 2 * trials)
     batch_started = time.perf_counter()
     for trial in range(trials):
         deploy_rng = generators[2 * trial]
         protocol_rng = generators[2 * trial + 1]
         trial_started = time.perf_counter()
-        channel = channel_factory(deploy_rng)
-        nodes = protocol.build(channel.n)
-        simulation = Simulation(
-            channel,
-            nodes,
-            rng=protocol_rng,
-            max_rounds=max_rounds,
-            keep_records=keep_traces,
-            protocol_name=protocol.name,
+        trace = execute_trial(
+            channel_factory,
+            protocol,
+            deploy_rng,
+            protocol_rng,
+            max_rounds,
+            keep_traces,
+            channel=shared_channel,
         )
-        trace = simulation.run()
         trial_elapsed = time.perf_counter() - trial_started
         total_rounds_executed += trace.rounds_executed
         if trace.solved:

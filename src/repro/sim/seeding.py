@@ -13,7 +13,7 @@ from typing import List, Sequence, Union
 
 import numpy as np
 
-__all__ = ["spawn_generators", "generator_from"]
+__all__ = ["spawn_seed_sequences", "spawn_generators", "generator_from"]
 
 #: Anything SeedSequence accepts as entropy: an int, a sequence of ints
 #: (experiments key sub-streams by tuples like ``(seed, n, slot)``), an
@@ -27,16 +27,29 @@ def _as_seed_sequence(seed: SeedLike) -> np.random.SeedSequence:
     return np.random.SeedSequence(seed)
 
 
+def spawn_seed_sequences(seed: SeedLike, count: int) -> List[np.random.SeedSequence]:
+    """Spawn ``count`` independent child seed sequences from one seed.
+
+    This is the seed *tree* underneath :func:`spawn_generators`, exposed
+    separately because child :class:`~numpy.random.SeedSequence` objects —
+    unlike live generators — are tiny and picklable, which is what lets
+    :mod:`repro.sim.parallel` ship each trial's entropy to a worker
+    process and still produce the exact bit stream the serial runner
+    would. Child ``i`` is a deterministic function of ``(seed, i)`` only.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative (got {count})")
+    root = _as_seed_sequence(seed)
+    return list(root.spawn(count))
+
+
 def spawn_generators(seed: SeedLike, count: int) -> List[np.random.Generator]:
     """Spawn ``count`` statistically independent generators from one seed.
 
     Child ``i`` is a deterministic function of ``(seed, i)``, so adding
     trials to an experiment never perturbs earlier trials' streams.
     """
-    if count < 0:
-        raise ValueError(f"count must be non-negative (got {count})")
-    root = _as_seed_sequence(seed)
-    return [np.random.default_rng(child) for child in root.spawn(count)]
+    return [np.random.default_rng(child) for child in spawn_seed_sequences(seed, count)]
 
 
 def generator_from(seed: SeedLike) -> np.random.Generator:

@@ -23,7 +23,9 @@ def _tiny_record(**times):
 class TestHarness:
     def test_core_benchmarks_run_and_record(self, tmp_path):
         # Tiny sizes: this is a correctness test of the harness, not a perf run.
-        results = run_benchmarks(core_benchmarks(n=24, fast_n=48), repeats=1)
+        results = run_benchmarks(
+            core_benchmarks(n=24, fast_n=48, parallel_trials=4), repeats=1
+        )
         names = set(results)
         assert names == {
             "gain_matrix_construction",
@@ -31,6 +33,9 @@ class TestHarness:
             "full_execution_engine",
             "fast_path_execution",
             "link_class_partition",
+            "parallel_trials_w1",
+            "parallel_trials_w2",
+            "parallel_trials_w4",
         }
         for entry in results.values():
             assert entry["wall_time_s"] > 0.0
@@ -42,6 +47,18 @@ class TestHarness:
         fast = results["fast_path_execution"]
         assert fast["peak_active"] == 48
         assert fast["solved"] is True
+        for workers in (1, 2, 4):
+            entry = results[f"parallel_trials_w{workers}"]
+            assert entry["workers"] == workers
+            assert entry["trials"] == 4
+            assert entry["cpu_count"] >= 1
+        # The seed-sharding contract, visible at the bench level: every
+        # worker count executes the same per-trial work.
+        assert (
+            results["parallel_trials_w1"]["rounds"]
+            == results["parallel_trials_w2"]["rounds"]
+            == results["parallel_trials_w4"]["rounds"]
+        )
 
         path = tmp_path / "bench.json"
         document = write_bench_record(results, path)

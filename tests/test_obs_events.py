@@ -83,6 +83,35 @@ class TestReadEventsValidation:
         assert len(read_events(path)) == 2
 
 
+class TestQueueEventSink:
+    """The cross-process forwarding sink workers install."""
+
+    class _ListQueue:
+        def __init__(self):
+            self.items = []
+
+        def put(self, item):
+            self.items.append(item)
+
+    def test_wraps_events_with_worker_id(self):
+        from repro.obs.events import QueueEventSink
+
+        queue = self._ListQueue()
+        sink = QueueEventSink(queue, worker_id=3)
+        sink.emit("worker_start", trials=5)
+        assert queue.items == [
+            ("event", 3, "worker_start", {"trials": 5, "worker_id": 3})
+        ]
+        assert sink.events_forwarded == 1
+
+    def test_existing_worker_id_not_clobbered(self):
+        from repro.obs.events import QueueEventSink
+
+        queue = self._ListQueue()
+        QueueEventSink(queue, worker_id=1).emit("x", worker_id=9)
+        assert queue.items[0][3]["worker_id"] == 9
+
+
 class TestGlobalSink:
     def test_default_is_null_sink(self):
         assert isinstance(get_sink(), NullEventSink)

@@ -125,6 +125,73 @@ class TestMetricsRegistry:
         assert registry.counter("a").value == 0
 
 
+class TestMergeSnapshot:
+    """Cross-process folding: worker registries merge into the parent's."""
+
+    def test_counters_add(self):
+        parent, worker = MetricsRegistry(), MetricsRegistry()
+        parent.counter("sim.rounds").inc(5)
+        worker.counter("sim.rounds").inc(3)
+        worker.counter("sim.knockouts").inc(2)
+        parent.merge_snapshot(worker.snapshot())
+        assert parent.counter("sim.rounds").value == 8
+        assert parent.counter("sim.knockouts").value == 2
+
+    def test_gauges_take_incoming_value(self):
+        parent, worker = MetricsRegistry(), MetricsRegistry()
+        parent.gauge("depth").set(1.0)
+        worker.gauge("depth").set(4.0)
+        parent.merge_snapshot(worker.snapshot())
+        assert parent.gauge("depth").value == 4.0
+
+    def test_histograms_merge_bucketwise(self):
+        parent, worker = MetricsRegistry(), MetricsRegistry()
+        for value in (0.5, 1.5):
+            parent.histogram("h", bounds=[1.0, 2.0]).observe(value)
+        for value in (0.1, 5.0):
+            worker.histogram("h", bounds=[1.0, 2.0]).observe(value)
+        parent.merge_snapshot(worker.snapshot())
+        merged = parent.histogram("h")
+        assert merged.count == 4
+        assert merged.bucket_counts == [2, 1, 1]
+        assert merged.sum == pytest.approx(7.1)
+        assert merged.min == pytest.approx(0.1)
+        assert merged.max == pytest.approx(5.0)
+
+    def test_histogram_merge_into_empty_parent(self):
+        parent, worker = MetricsRegistry(), MetricsRegistry()
+        worker.histogram("h").observe(0.25)
+        parent.merge_snapshot(worker.snapshot())
+        assert parent.histogram("h").count == 1
+        assert parent.histogram("h").min == pytest.approx(0.25)
+
+    def test_histogram_bounds_mismatch_rejected(self):
+        parent, worker = MetricsRegistry(), MetricsRegistry()
+        parent.histogram("h", bounds=[1.0])
+        worker.histogram("h", bounds=[2.0]).observe(1.0)
+        with pytest.raises(ValueError, match="bounds differ"):
+            parent.merge_snapshot(worker.snapshot())
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ValueError, match="unknown type"):
+            MetricsRegistry().merge_snapshot({"x": {"type": "mystery"}})
+
+    def test_merge_is_associative_with_serial_recording(self):
+        # Splitting observations across two "workers" and merging must
+        # equal recording everything in one registry.
+        serial, parent = MetricsRegistry(), MetricsRegistry()
+        workers = [MetricsRegistry(), MetricsRegistry()]
+        observations = [0.01, 0.2, 3.0, 0.5, 0.07, 11.0]
+        for index, value in enumerate(observations):
+            serial.counter("n").inc()
+            serial.histogram("h").observe(value)
+            workers[index % 2].counter("n").inc()
+            workers[index % 2].histogram("h").observe(value)
+        for worker in workers:
+            parent.merge_snapshot(worker.snapshot())
+        assert parent.snapshot() == serial.snapshot()
+
+
 class TestGlobalRegistry:
     def test_default_global_is_disabled(self):
         assert get_registry().enabled is False

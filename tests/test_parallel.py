@@ -1,0 +1,335 @@
+"""Parallel trial execution: seed-sharding parity, telemetry, contracts.
+
+The load-bearing tests here are the parity ones: for a fixed seed, the
+sharded runner must return **bit-identical** per-trial results to the
+serial runner for any worker count, for both a deterministic and a
+stochastic (resampled-per-trial) channel factory. Everything else —
+event forwarding, metrics merging, partition shapes — supports that
+guarantee.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.obs.events import JsonlEventSink, read_events, set_sink
+from repro.obs.registry import MetricsRegistry, set_registry
+from repro.protocols.simple import FixedProbabilityProtocol
+from repro.sim.parallel import (
+    StaticDeploymentFactory,
+    UniformDiskFactory,
+    default_workers,
+    get_default_workers,
+    partition_trials,
+    run_fast_trials,
+    run_trials_parallel,
+    set_default_workers,
+)
+from repro.deploy.topologies import uniform_disk
+from repro.sim.runner import run_trials
+from repro.sim.seeding import generator_from
+
+N = 32
+TRIALS = 8
+SEED = 424242
+MAX_ROUNDS = 4_000
+
+#: One deterministic factory (fixed deployment, channel reused per shard)
+#: and one stochastic factory (deployment resampled from each trial's
+#: deploy generator) — the two regimes of the seed-sharding contract.
+FACTORIES = {
+    "deterministic": StaticDeploymentFactory(uniform_disk(N, generator_from(9))),
+    "stochastic": UniformDiskFactory(N),
+}
+
+
+def _protocol():
+    return FixedProbabilityProtocol(p=0.1)
+
+
+class TestEngineParity:
+    @pytest.mark.parametrize("workers", [2, 4])
+    @pytest.mark.parametrize("kind", sorted(FACTORIES))
+    def test_parallel_matches_serial(self, kind, workers):
+        factory = FACTORIES[kind]
+        serial = run_trials(
+            factory, _protocol(), trials=TRIALS, seed=SEED, max_rounds=MAX_ROUNDS
+        )
+        parallel = run_trials_parallel(
+            factory,
+            _protocol(),
+            trials=TRIALS,
+            seed=SEED,
+            max_rounds=MAX_ROUNDS,
+            workers=workers,
+        )
+        assert parallel.rounds == serial.rounds
+        assert parallel.failures == serial.failures
+        assert parallel.total_rounds_executed == serial.total_rounds_executed
+        assert parallel.trials == serial.trials
+        assert parallel.protocol_name == serial.protocol_name
+
+    def test_workers_kwarg_on_run_trials_dispatches(self):
+        factory = FACTORIES["stochastic"]
+        serial = run_trials(
+            factory, _protocol(), trials=TRIALS, seed=SEED, max_rounds=MAX_ROUNDS
+        )
+        parallel = run_trials(
+            factory,
+            _protocol(),
+            trials=TRIALS,
+            seed=SEED,
+            max_rounds=MAX_ROUNDS,
+            workers=2,
+        )
+        assert parallel.rounds == serial.rounds
+
+    def test_spawn_start_method_with_picklable_spec(self):
+        # The spec must survive full pickling — this is the spawn-safety
+        # contract; 4 trials keep the two fresh interpreters cheap.
+        factory = FACTORIES["deterministic"]
+        serial = run_trials(
+            factory, _protocol(), trials=4, seed=SEED, max_rounds=MAX_ROUNDS
+        )
+        parallel = run_trials_parallel(
+            factory,
+            _protocol(),
+            trials=4,
+            seed=SEED,
+            max_rounds=MAX_ROUNDS,
+            workers=2,
+            start_method="spawn",
+        )
+        assert parallel.rounds == serial.rounds
+
+    def test_keep_traces_returned_in_trial_order(self):
+        factory = FACTORIES["stochastic"]
+        serial = run_trials(
+            factory,
+            _protocol(),
+            trials=6,
+            seed=SEED,
+            max_rounds=MAX_ROUNDS,
+            keep_traces=True,
+        )
+        parallel = run_trials_parallel(
+            factory,
+            _protocol(),
+            trials=6,
+            seed=SEED,
+            max_rounds=MAX_ROUNDS,
+            keep_traces=True,
+            workers=3,
+        )
+        assert len(parallel.traces) == 6
+        assert [t.rounds_to_solve for t in parallel.traces] == [
+            t.rounds_to_solve for t in serial.traces
+        ]
+
+    def test_more_workers_than_trials(self):
+        factory = FACTORIES["stochastic"]
+        serial = run_trials(
+            factory, _protocol(), trials=3, seed=SEED, max_rounds=MAX_ROUNDS
+        )
+        parallel = run_trials_parallel(
+            factory,
+            _protocol(),
+            trials=3,
+            seed=SEED,
+            max_rounds=MAX_ROUNDS,
+            workers=8,
+        )
+        assert parallel.rounds == serial.rounds
+
+    def test_worker_failure_propagates(self):
+        def exploding_factory(rng):
+            raise RuntimeError("boom in worker")
+
+        with pytest.raises(RuntimeError, match="parallel trial worker failed"):
+            run_trials_parallel(
+                exploding_factory,
+                _protocol(),
+                trials=4,
+                seed=SEED,
+                workers=2,
+            )
+
+    def test_workers_validation(self):
+        with pytest.raises(ValueError, match="workers"):
+            run_trials_parallel(
+                FACTORIES["stochastic"], _protocol(), trials=2, workers=0
+            )
+
+
+class TestFastParity:
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_parallel_matches_serial(self, workers):
+        factory = FACTORIES["deterministic"]
+        serial = run_fast_trials(
+            factory, 0.1, trials=TRIALS, seed=SEED, max_rounds=MAX_ROUNDS, workers=1
+        )
+        parallel = run_fast_trials(
+            factory,
+            0.1,
+            trials=TRIALS,
+            seed=SEED,
+            max_rounds=MAX_ROUNDS,
+            workers=workers,
+        )
+        assert parallel.rounds == serial.rounds
+        assert parallel.failures == serial.failures
+        assert parallel.total_rounds_executed == serial.total_rounds_executed
+
+    def test_matches_manual_fast_loop(self):
+        # run_fast_trials must consume the same (seed, trial) tree the
+        # experiments' historical inline loops used.
+        from repro.sim.fast import fast_fixed_probability_run
+        from repro.sim.seeding import spawn_generators
+
+        factory = UniformDiskFactory(N)
+        stats = run_fast_trials(factory, 0.1, trials=5, seed=(7, N), workers=1)
+        generators = spawn_generators((7, N), 10)
+        expected = []
+        for trial in range(5):
+            channel = factory(generators[2 * trial])
+            outcome = fast_fixed_probability_run(
+                channel, 0.1, generators[2 * trial + 1], max_rounds=100_000
+            )
+            if outcome.solved:
+                expected.append(outcome.rounds_to_solve)
+        assert stats.rounds == expected
+
+    def test_p_validation(self):
+        with pytest.raises(ValueError, match="probability"):
+            run_fast_trials(FACTORIES["deterministic"], 1.5, trials=2)
+
+
+class TestTelemetryParity:
+    def _run(self, tmp_path, label, workers):
+        registry = MetricsRegistry(enabled=True)
+        sink = JsonlEventSink(tmp_path / f"{label}.jsonl")
+        previous_registry = set_registry(registry)
+        previous_sink = set_sink(sink)
+        try:
+            stats = run_trials(
+                FACTORIES["stochastic"],
+                _protocol(),
+                trials=TRIALS,
+                seed=SEED,
+                max_rounds=MAX_ROUNDS,
+                workers=workers,
+            )
+        finally:
+            set_registry(previous_registry)
+            set_sink(previous_sink)
+            sink.close()
+        return stats, registry.snapshot(), read_events(tmp_path / f"{label}.jsonl")
+
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_counters_and_progress_events_match_serial(self, tmp_path, workers):
+        serial_stats, serial_metrics, serial_events = self._run(
+            tmp_path, "serial", 1
+        )
+        parallel_stats, parallel_metrics, parallel_events = self._run(
+            tmp_path, f"w{workers}", workers
+        )
+        assert parallel_stats.rounds == serial_stats.rounds
+
+        # The same work must be accounted: trial counts exactly, and the
+        # engine-side counters the workers recorded merge to serial totals.
+        for name in ("runner.trials", "runner.solved", "sim.rounds", "sim.executions"):
+            assert parallel_metrics[name]["value"] == serial_metrics[name]["value"], name
+        assert (
+            parallel_metrics["runner.trial_seconds"]["count"]
+            == serial_metrics["runner.trial_seconds"]["count"]
+        )
+
+        # Both runs finish with a progress event covering every trial.
+        final_serial = [e for e in serial_events if e["event"] == "trials_progress"][-1]
+        final_parallel = [
+            e for e in parallel_events if e["event"] == "trials_progress"
+        ][-1]
+        for key in ("done", "total", "solved", "failures", "protocol"):
+            assert final_parallel[key] == final_serial[key], key
+        assert final_parallel["workers"] == workers
+
+    def test_worker_events_carry_worker_id(self, tmp_path):
+        _, _, events = self._run(tmp_path, "tagged", 2)
+        worker_starts = [e for e in events if e["event"] == "worker_start"]
+        assert len(worker_starts) == 2
+        assert sorted(e["worker_id"] for e in worker_starts) == [0, 1]
+
+
+class TestPartition:
+    def test_contiguous_and_balanced(self):
+        partition = partition_trials(10, 4)
+        assert partition == [[0, 1, 2], [3, 4, 5], [6, 7], [8, 9]]
+
+    def test_covers_every_trial_exactly_once(self):
+        for trials in (1, 5, 16, 31):
+            for shards in (1, 2, 3, 8, 64):
+                flat = [t for shard in partition_trials(trials, shards) for t in shard]
+                assert flat == list(range(trials))
+
+    def test_never_produces_empty_shards(self):
+        assert partition_trials(3, 8) == [[0], [1], [2]]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            partition_trials(0, 2)
+        with pytest.raises(ValueError):
+            partition_trials(4, 0)
+
+
+class TestDefaultWorkers:
+    def test_default_is_serial(self):
+        assert get_default_workers() == 1
+
+    def test_context_scopes_and_restores(self):
+        with default_workers(3):
+            assert get_default_workers() == 3
+            with default_workers(2):
+                assert get_default_workers() == 2
+            assert get_default_workers() == 3
+        assert get_default_workers() == 1
+
+    def test_restores_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with default_workers(5):
+                raise RuntimeError("x")
+        assert get_default_workers() == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            set_default_workers(0)
+
+    def test_run_trials_consults_default(self, monkeypatch):
+        calls = {}
+
+        def fake_parallel(*args, **kwargs):
+            calls["workers"] = kwargs.get("workers")
+            from repro.sim.runner import TrialStats
+
+            return TrialStats(protocol_name="x", trials=2, rounds=[1, 1], failures=0)
+
+        import repro.sim.parallel as parallel_module
+
+        monkeypatch.setattr(parallel_module, "run_trials_parallel", fake_parallel)
+        with default_workers(2):
+            run_trials(
+                FACTORIES["stochastic"], _protocol(), trials=2, seed=0, max_rounds=64
+            )
+        assert calls["workers"] == 2
+
+
+class TestDeterministicFactorySharing:
+    def test_static_factory_marked_deterministic(self):
+        assert FACTORIES["deterministic"].deterministic is True
+        assert not getattr(FACTORIES["stochastic"], "deterministic", False)
+
+    def test_static_factory_ignores_rng(self):
+        factory = FACTORIES["deterministic"]
+        a = factory(None)
+        b = factory(generator_from(123))
+        assert np.array_equal(a.base_gains, b.base_gains)

@@ -120,6 +120,32 @@ class TestTrialStats:
         stats = TrialStats(protocol_name="myproto", trials=1, rounds=[4], failures=0)
         assert "myproto" in stats.summary()
 
+    def test_rounds_per_second_guards_degenerate_wall_times(self):
+        # Regression: empty or instantly-failing batches can report a
+        # zero, negative-epsilon or nan wall time; the derived rate must
+        # come back nan — never a ZeroDivisionError and never inf.
+        for wall in (0.0, -0.0, float("nan")):
+            stats = TrialStats(
+                protocol_name="x",
+                trials=0,
+                rounds=[],
+                failures=0,
+                total_wall_time=wall,
+                total_rounds_executed=100,
+            )
+            assert math.isnan(stats.rounds_per_second), wall
+
+    def test_rounds_per_second_normal_case(self):
+        stats = TrialStats(
+            protocol_name="x",
+            trials=1,
+            rounds=[5],
+            failures=0,
+            total_wall_time=2.0,
+            total_rounds_executed=10,
+        )
+        assert stats.rounds_per_second == pytest.approx(5.0)
+
 
 class TestBudget:
     def test_budget_grows_with_n(self):
