@@ -15,6 +15,13 @@ snapshot from the instrumented hot paths). See docs/observability.md.
 to a serial run, so the flag is purely a wall-time lever; telemetry
 events from workers carry a ``worker_id`` field. See
 docs/parallelism.md.
+
+``--probes`` (requires ``--telemetry-dir``) additionally records the
+round-level flight recorder (:mod:`repro.obs.probe`) into ``probes.npz``
+and runs the live theory-invariant monitors; analyze afterwards with
+``python -m repro.obs.analyze DIR``. ``--profile`` wraps the run in
+cProfile and records per-phase timing plus the hottest functions into
+the manifest (and stdout). See docs/observability.md.
 """
 
 from __future__ import annotations
@@ -77,9 +84,25 @@ def main(argv=None) -> int:
         "bit-identical to serial execution for any N (see "
         "docs/parallelism.md)",
     )
+    parser.add_argument(
+        "--probes",
+        action="store_true",
+        help="record the round-level flight recorder (probes.npz) and run "
+        "the theory-invariant monitors; requires --telemetry-dir",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="profile the run with cProfile; prints per-phase timing and "
+        "hot functions, and records them in manifest.json when "
+        "--telemetry-dir is set",
+    )
     args = parser.parse_args(argv)
     if args.workers < 1:
         parser.error(f"--workers must be positive (got {args.workers})")
+    if args.probes and not args.telemetry_dir:
+        parser.error("--probes requires --telemetry-dir (probes.npz needs "
+                     "a directory to land in)")
 
     if args.experiment.lower() == "all":
         ids = sorted(REGISTRY, key=lambda e: int(e[1:]))
@@ -109,20 +132,44 @@ def main(argv=None) -> int:
             config={
                 "preset": preset,
                 "workers": args.workers,
+                "probes": args.probes,
                 "experiments": {
                     experiment_id: dataclasses.asdict(config)
                     for experiment_id, config in configs.items()
                 },
             },
+            probes=args.probes,
         )
         session.start()
 
     from repro.experiments.common import default_workers
 
+    profiler = None
+    profile_report = None
+    if args.profile:
+        import cProfile
+
+        profiler = cProfile.Profile()
+
+    def _finalise_profile():
+        """Stop the profiler and build its report exactly once."""
+        nonlocal profiler, profile_report
+        if profiler is None:
+            return
+        from repro.obs.profiling import build_profile_report
+
+        profiler.disable()
+        profile_report = build_profile_report(profiler)
+        if session is not None:
+            session.set_profile(profile_report)
+        profiler = None
+
     scoreboard = []
     results = []
     try:
         with default_workers(args.workers):
+            if profiler is not None:
+                profiler.enable()
             for experiment_id in ids:
                 if session is not None:
                     session.emit(
@@ -140,13 +187,21 @@ def main(argv=None) -> int:
                 scoreboard.append((experiment_id, result.passed, elapsed))
                 results.append(result)
     except BaseException:
+        _finalise_profile()
         if session is not None:
             session.finish(status="failed")
             session = None
         raise
     finally:
+        _finalise_profile()
         if session is not None:
             session.finish(status="completed")
+
+    if profile_report is not None:
+        from repro.obs.profiling import format_profile_report
+
+        print(format_profile_report(profile_report))
+        print()
 
     if len(ids) > 1:
         print("== scoreboard ==")
@@ -156,6 +211,11 @@ def main(argv=None) -> int:
             )
     if args.telemetry_dir:
         print(f"telemetry written to {args.telemetry_dir}")
+        if args.probes:
+            print(
+                "probes recorded — analyze with: "
+                f"python -m repro.obs.analyze {args.telemetry_dir}"
+            )
     if args.report:
         from repro.reporting.markdown import write_report
 

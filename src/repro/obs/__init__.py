@@ -30,6 +30,17 @@ Three layers, each usable on its own:
     The machine-readable benchmark harness behind ``BENCH_core.json`` —
     see :mod:`repro.obs.bench` and ``tools/bench_diff.py``.
 
+``probe`` / ``monitors`` / ``analyze``
+    The round-level flight recorder: a zero-cost-when-disabled probe bus
+    the simulation paths publish per-round records to, a columnar
+    recorder (``probes.npz``), live theory-invariant monitors that flag
+    violations as ``warning`` events, and an offline analyzer CLI
+    (``python -m repro.obs.analyze DIR``).
+
+``profiling``
+    ``--profile`` support: cProfile condensed into per-phase timing and
+    hot-function reports recorded in ``manifest.json``.
+
 The engine's *observers* remain the right hook for per-round analysis
 code (link classes, knockout accounting); telemetry is the orthogonal,
 always-available layer for cost and progress. See docs/observability.md.
@@ -45,6 +56,24 @@ from repro.obs.events import (
     set_sink,
 )
 from repro.obs.manifest import RunManifest, collect_environment, collect_git_sha
+from repro.obs.monitors import (
+    ActiveSetGrowthMonitor,
+    Corollary7KnockoutMonitor,
+    SINRDeliveryMonitor,
+    default_monitors,
+)
+from repro.obs.probe import (
+    ExecutionProbe,
+    ProbeBus,
+    ProbeRecorder,
+    RoundProbe,
+    SINRProbe,
+    get_probe_bus,
+    link_class_round_stats,
+    load_probes,
+    set_probe_bus,
+)
+from repro.obs.profiling import build_profile_report, format_profile_report
 from repro.obs.registry import (
     Counter,
     Gauge,
@@ -58,23 +87,38 @@ from repro.obs.registry import (
 from repro.obs.telemetry import TelemetrySession
 
 __all__ = [
+    "ActiveSetGrowthMonitor",
+    "Corollary7KnockoutMonitor",
     "Counter",
     "EventSink",
+    "ExecutionProbe",
     "Gauge",
     "Histogram",
     "JsonlEventSink",
     "MetricsRegistry",
     "NullEventSink",
+    "ProbeBus",
+    "ProbeRecorder",
     "QueueEventSink",
+    "RoundProbe",
     "RunManifest",
+    "SINRDeliveryMonitor",
+    "SINRProbe",
     "TelemetrySession",
     "Timer",
+    "build_profile_report",
     "collect_environment",
     "collect_git_sha",
+    "default_monitors",
+    "format_profile_report",
+    "get_probe_bus",
     "get_registry",
     "get_sink",
+    "link_class_round_stats",
+    "load_probes",
     "log_spaced_buckets",
     "read_events",
+    "set_probe_bus",
     "set_registry",
     "set_sink",
 ]

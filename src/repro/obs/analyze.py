@@ -1,0 +1,280 @@
+"""Offline analyzer for recorded probe runs: ``python -m repro.obs.analyze DIR``.
+
+Reads the flight-recorder artefacts a probes-enabled telemetry session
+leaves behind (``probes.npz``, plus ``events.jsonl`` / ``manifest.json``
+when present) and renders the round-level story of the run in the
+terminal:
+
+* **convergence curves** — mean active-set size per round, one series per
+  deployment size, via :func:`repro.reporting.ascii_charts.ascii_plot`;
+* **knockout-fraction tables** — the dominant link class's single-round
+  knockout fraction per deployment size, computed with exactly the
+  partition/dominant-class conventions E5 uses, so on a recorded E5 run
+  the table reproduces the experiment's own report;
+* **near-miss SINR histograms** — the margin-to-``beta`` distribution of
+  receptions that were *not* delivered, the quantity the lemma-level
+  arguments bound;
+* a **monitor warning summary** from ``events.jsonl``.
+
+Everything is recomputed from the columnar probe arrays — the analyzer
+never re-runs the simulation, so it works on artefacts from crashed or
+remote runs. Exit status: 0 on success, 2 when the directory or its
+``probes.npz`` is missing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.obs.probe import PROBES_FILENAME, load_probes
+
+__all__ = [
+    "dominant_class_fractions",
+    "knockout_fraction_table",
+    "format_analysis",
+    "main",
+]
+
+PathLike = Union[str, Path]
+
+#: Mirrors ``repro.experiments.e5_knockout.FAILURE_FRACTION`` — a round
+#: "fails" when it knocks out less than this fraction of the class.
+DEFAULT_FAILURE_FRACTION = 0.05
+
+
+# ---------------------------------------------------------------------------
+# Knockout-fraction reconstruction (the E5 view)
+
+def dominant_class_fractions(
+    probes: Dict[str, np.ndarray], round_index: int = 0
+) -> Dict[int, List[float]]:
+    """Per-deployment-size dominant-class knockout fractions at one round.
+
+    For every recorded execution that reached ``round_index``, pick the
+    dominant link class of that round's partition — the largest class,
+    first (lowest index) on ties, matching E5's
+    ``max(partition.occupied, key=partition.size)`` — and return
+    ``knocked / size``. Keyed by the execution's node count ``n``,
+    preserving first-appearance order (the sweep order).
+    """
+    exec_trial = probes["exec_trial"]
+    exec_n = probes["exec_n"]
+    class_trial = probes["class_trial"]
+    class_round = probes["class_round"]
+    class_size = probes["class_size"]
+    class_knocked = probes["class_knocked"]
+
+    n_of_trial = {int(t): int(n) for t, n in zip(exec_trial, exec_n)}
+    fractions: Dict[int, List[float]] = {}
+    for n in exec_n:  # first-appearance order of the sweep
+        fractions.setdefault(int(n), [])
+
+    at_round = class_round == round_index
+    for trial in np.unique(class_trial[at_round]):
+        rows = at_round & (class_trial == trial)
+        sizes = class_size[rows]
+        if sizes.size == 0:
+            continue
+        # Class rows are stored in ascending class-index order, so argmax
+        # (first max) picks the lowest-index class on ties — E5's rule.
+        dominant = int(np.argmax(sizes))
+        size = int(sizes[dominant])
+        if size == 0:
+            continue
+        knocked = int(class_knocked[rows][dominant])
+        n = n_of_trial.get(int(trial))
+        if n is not None:
+            fractions.setdefault(n, []).append(knocked / size)
+    return fractions
+
+
+def knockout_fraction_table(
+    probes: Dict[str, np.ndarray],
+    failure_fraction: float = DEFAULT_FAILURE_FRACTION,
+) -> Tuple[List[str], List[List[Any]]]:
+    """E5's report table recomputed from the probe stream.
+
+    Returns ``(header, rows)`` with the same columns as the experiment's
+    own report: ``n, trials, mean_knockout_frac, min, failure_rate`` —
+    one row per deployment size, sweep order.
+    """
+    header = ["n", "trials", "mean_knockout_frac", "min", "failure_rate"]
+    rows: List[List[Any]] = []
+    for n, fractions in dominant_class_fractions(probes).items():
+        if not fractions:
+            continue
+        values = np.asarray(fractions)
+        rows.append(
+            [
+                n,
+                int(values.size),
+                float(values.mean()),
+                float(values.min()),
+                float((values < failure_fraction).mean()),
+            ]
+        )
+    return header, rows
+
+
+# ---------------------------------------------------------------------------
+# Convergence curves
+
+def _convergence_series(
+    probes: Dict[str, np.ndarray], max_points: int = 64
+) -> Tuple[Dict[str, List[float]], List[float]]:
+    """Mean active count per round, one series per deployment size."""
+    rounds_trial = probes["rounds_trial"]
+    rounds_round = probes["rounds_round"]
+    rounds_active = probes["rounds_active"]
+    exec_n = {int(t): int(n) for t, n in zip(probes["exec_trial"], probes["exec_n"])}
+    if rounds_round.size == 0:
+        return {}, []
+    horizon = int(rounds_round.max()) + 1
+    xs = list(range(min(horizon, max_points)))
+    series: Dict[str, List[float]] = {}
+    for n in sorted(set(exec_n.values())):
+        trials_of_n = {t for t, size in exec_n.items() if size == n}
+        mask = np.isin(rounds_trial, list(trials_of_n))
+        ys = []
+        for r in xs:
+            at = mask & (rounds_round == r)
+            ys.append(float(rounds_active[at].mean()) if at.any() else 0.0)
+        series[f"n={n}"] = ys
+    return series, [float(x) for x in xs]
+
+
+# ---------------------------------------------------------------------------
+# Rendering
+
+def format_analysis(
+    directory: PathLike,
+    failure_fraction: float = DEFAULT_FAILURE_FRACTION,
+    near_miss_bins: int = 10,
+) -> str:
+    """The full analyzer report for one recorded run, as a string."""
+    from repro.reporting.ascii_charts import ascii_histogram, ascii_plot
+
+    directory = Path(directory)
+    probes = load_probes(directory / PROBES_FILENAME)
+    sections: List[str] = [f"probe analysis: {directory}"]
+
+    executions = int(probes["exec_trial"].size)
+    rounds = int(probes["rounds_trial"].size)
+    solved = int(np.count_nonzero(probes["exec_solved"] >= 0))
+    sections.append(
+        f"{executions} executions ({solved} solved), {rounds} recorded rounds, "
+        f"{int(probes['sinr_receiver'].size)} SINR samples"
+    )
+
+    header, rows = knockout_fraction_table(probes, failure_fraction)
+    if rows:
+        sections.append("")
+        sections.append(
+            "dominant-class single-round knockout fractions "
+            f"(round 0; failure < {failure_fraction:g}):"
+        )
+        sections.append("  " + "  ".join(f"{name:>20}" for name in header))
+        for row in rows:
+            cells = [
+                f"{value:20.6f}" if isinstance(value, float) else f"{value:>20}"
+                for value in row
+            ]
+            sections.append("  " + "  ".join(cells))
+
+    series, xs = _convergence_series(probes)
+    multi_round = len(xs) > 1 and any(len(set(ys)) > 1 for ys in series.values())
+    if series and multi_round:
+        sections.append("")
+        sections.append(
+            ascii_plot(
+                series,
+                xs,
+                title="convergence: mean active nodes per round",
+            )
+        )
+
+    margins = probes["sinr_margin"]
+    delivered = probes["sinr_delivered"]
+    near_misses = margins[(~delivered) & (margins > -probes["sinr_beta"])]
+    if near_misses.size:
+        sections.append("")
+        sections.append(
+            ascii_histogram(
+                near_misses,
+                bins=near_miss_bins,
+                title=(
+                    "near-miss SINR margins (undelivered, margin = sinr - beta; "
+                    f"{near_misses.size} samples)"
+                ),
+            )
+        )
+
+    sections.append("")
+    sections.append(_warning_summary(directory))
+    return "\n".join(sections)
+
+
+def _warning_summary(directory: Path) -> str:
+    """Summarise monitor warnings from ``events.jsonl`` (if present)."""
+    events_path = directory / "events.jsonl"
+    if not events_path.exists():
+        return "monitor warnings: events.jsonl not present"
+    from repro.obs.events import read_events
+
+    warnings = [e for e in read_events(events_path) if e.get("event") == "warning"]
+    if not warnings:
+        return "monitor warnings: none (all theory invariants held)"
+    lines = [f"monitor warnings: {len(warnings)}"]
+    for event in warnings[:20]:
+        monitor = event.get("monitor", "?")
+        detail = event.get("detail", "")
+        lines.append(f"  [{monitor}] {detail}")
+    if len(warnings) > 20:
+        lines.append(f"  ... and {len(warnings) - 20} more")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.analyze",
+        description="Analyze a recorded probe run (probes.npz + events.jsonl).",
+    )
+    parser.add_argument("directory", help="telemetry directory of a --probes run")
+    parser.add_argument(
+        "--failure-fraction",
+        type=float,
+        default=DEFAULT_FAILURE_FRACTION,
+        help="knockout fraction below which a round counts as a failure "
+        f"(default {DEFAULT_FAILURE_FRACTION})",
+    )
+    parser.add_argument(
+        "--bins", type=int, default=10, help="near-miss histogram bins"
+    )
+    args = parser.parse_args(argv)
+
+    directory = Path(args.directory)
+    probes_path = directory / PROBES_FILENAME
+    if not probes_path.exists():
+        print(
+            f"error: {probes_path} not found — run the experiment with "
+            "--telemetry-dir and --probes first",
+            file=sys.stderr,
+        )
+        return 2
+    print(
+        format_analysis(
+            directory,
+            failure_fraction=args.failure_fraction,
+            near_miss_bins=args.bins,
+        )
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

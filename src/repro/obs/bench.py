@@ -144,6 +144,30 @@ def core_benchmarks(
             "solved": result.solved,
         }
 
+    def fast_path_execution_probes() -> Dict[str, float]:
+        # The identical workload with the round-level flight recorder on
+        # (recorder subscribed, no monitors) — committing both entries to
+        # BENCH_core.json keeps the probes-enabled overhead an explicit,
+        # tracked number and lets the gate watch the disabled path.
+        from repro.obs.probe import ProbeBus, ProbeRecorder, set_probe_bus
+
+        bus = ProbeBus(enabled=True)
+        recorder = ProbeRecorder()
+        bus.subscribe(recorder)
+        previous = set_probe_bus(bus)
+        try:
+            result = fast_fixed_probability_run(
+                fast_channel, p=0.1, rng=generator_from(1004), max_rounds=50_000
+            )
+        finally:
+            set_probe_bus(previous)
+        return {
+            "rounds": result.rounds_executed,
+            "peak_active": max(result.active_counts, default=0),
+            "solved": result.solved,
+            "probe_rounds": recorder.rounds_recorded,
+        }
+
     def link_class_partition_cost() -> Dict[str, float]:
         import numpy as np
 
@@ -181,6 +205,7 @@ def core_benchmarks(
         ("single_round_resolve", single_round_resolve),
         ("full_execution_engine", full_execution_engine),
         ("fast_path_execution", fast_path_execution),
+        ("fast_path_execution_probes", fast_path_execution_probes),
         ("link_class_partition", link_class_partition_cost),
         ("parallel_trials_w1", parallel_trials_bench(1)),
         ("parallel_trials_w2", parallel_trials_bench(2)),

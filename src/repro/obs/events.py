@@ -21,7 +21,7 @@ from __future__ import annotations
 import json
 import time
 from pathlib import Path
-from typing import Callable, Dict, List, Union
+from typing import Callable, Dict, List, Optional, Union
 
 __all__ = [
     "EventSink",
@@ -56,18 +56,40 @@ class NullEventSink(EventSink):
 class JsonlEventSink(EventSink):
     """Appends events to a ``.jsonl`` file, one object per line.
 
-    Every emit is flushed so the log survives crashes and can be tailed
-    while a long sweep runs. ``clock`` is injectable for deterministic
-    tests.
+    By default (``flush_every=1``) every emit is flushed so the log
+    survives crashes and can be tailed while a long sweep runs. High-rate
+    emitters can trade crash-tail completeness for throughput with
+    ``flush_every=N`` (flush once per N events; :meth:`flush` and
+    :meth:`close` always drain the buffer).
+
+    ``max_bytes`` is the rotation guard for week-long sweeps: when the
+    file reaches the limit it is renamed to ``<name>.1`` (replacing any
+    previous rollover — at most one generation is kept) and a fresh file
+    is started, so ``events.jsonl`` can never grow unboundedly. Rotation
+    happens on line boundaries; ``rotations`` counts how often it fired.
+
+    ``clock`` is injectable for deterministic tests.
     """
 
     def __init__(
-        self, path: PathLike, clock: Callable[[], float] = time.time
+        self,
+        path: PathLike,
+        clock: Callable[[], float] = time.time,
+        flush_every: int = 1,
+        max_bytes: Optional[int] = None,
     ) -> None:
+        if flush_every < 1:
+            raise ValueError(f"flush_every must be positive (got {flush_every})")
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError(f"max_bytes must be positive (got {max_bytes})")
         self.path = Path(path)
         self._clock = clock
+        self.flush_every = flush_every
+        self.max_bytes = max_bytes
         self._handle = open(self.path, "a", encoding="utf-8")
+        self._unflushed = 0
         self.events_emitted = 0
+        self.rotations = 0
 
     def emit(self, kind: str, **fields) -> None:
         if self._handle.closed:
@@ -75,11 +97,28 @@ class JsonlEventSink(EventSink):
         record: Dict[str, object] = {"event": kind, "ts": self._clock()}
         record.update(fields)
         self._handle.write(json.dumps(record, default=str) + "\n")
-        self._handle.flush()
+        self._unflushed += 1
+        if self._unflushed >= self.flush_every:
+            self.flush()
         self.events_emitted += 1
+        if self.max_bytes is not None and self._handle.tell() >= self.max_bytes:
+            self._rotate()
+
+    def flush(self) -> None:
+        if not self._handle.closed:
+            self._handle.flush()
+        self._unflushed = 0
+
+    def _rotate(self) -> None:
+        self.flush()
+        self._handle.close()
+        self.path.replace(self.path.with_name(self.path.name + ".1"))
+        self._handle = open(self.path, "a", encoding="utf-8")
+        self.rotations += 1
 
     def close(self) -> None:
         if not self._handle.closed:
+            self.flush()
             self._handle.close()
 
 

@@ -97,6 +97,10 @@ class RunManifest:
     started_at: str = ""
     finished_at: Optional[str] = None
     status: str = "running"
+    #: Optional profiling report (``--profile``): per-phase wall-time
+    #: breakdown plus the top-N hot functions — see
+    #: :mod:`repro.obs.profiling`. Absent (``None``) for unprofiled runs.
+    profile: Optional[Dict[str, Any]] = None
 
     @classmethod
     def create(
@@ -161,6 +165,7 @@ class RunManifest:
                 "started_at",
                 "finished_at",
                 "status",
+                "profile",
             )
             if name in document
         }

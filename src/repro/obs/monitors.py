@@ -1,0 +1,243 @@
+"""Theory-invariant monitors: live checks subscribed to the probe bus.
+
+Each monitor watches the probe stream for a violation of something the
+paper *proves* and, on detection, emits a ``warning`` event into the run's
+``events.jsonl`` (via the global event sink, so worker-originated warnings
+are forwarded across process boundaries with a ``worker_id`` like every
+other event). A passing run emits zero warnings; a warning turns a shape
+check failure from "E5 FAIL" into a diagnosis of *which* lemma-level
+quantity misbehaved.
+
+The three stock monitors (:func:`default_monitors`):
+
+:class:`Corollary7KnockoutMonitor`
+    Corollary 7: a dominant link class loses a constant fraction of its
+    members per round, with failure probability ``e^{-c|V_i|}``. The
+    statement is probabilistic, so the monitor is statistical, not
+    per-round: it accumulates the single-round knockout fraction of the
+    dominant class over qualifying rounds (class size at least
+    ``min_class_size``, smaller classes at most ``delta`` of it, at least
+    one transmitter) and warns once the running mean over at least
+    ``min_samples`` rounds drops below ``bound``. On a healthy execution
+    the mean sits near 0.3 — an order of magnitude above the default
+    bound — so a legitimate run never trips it.
+
+:class:`SINRDeliveryMonitor`
+    Equation 1 made operational: a listener whose strongest arriving
+    signal clears ``beta`` **must** decode it. ``delivered`` false with
+    ``sinr >= beta * (1 + epsilon)`` is a channel bug, full stop.
+
+:class:`ActiveSetGrowthMonitor`
+    Knocked-out nodes stay out (Section 2): the active set is
+    non-increasing except while an activation schedule still has pending
+    wake-ups. Growth with ``pending == 0`` means resurrection.
+
+Monitors deliberately do not raise — a violated invariant mid-sweep
+should annotate the run, not kill it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.obs.events import get_sink
+from repro.obs.probe import RoundProbe, SINRProbe
+
+__all__ = [
+    "ActiveSetGrowthMonitor",
+    "Corollary7KnockoutMonitor",
+    "SINRDeliveryMonitor",
+    "default_monitors",
+]
+
+#: Warning emitter signature: ``emit(monitor_name, **fields)``.
+WarningEmitter = Callable[..., None]
+
+
+def _sink_emitter(monitor: str, **fields) -> None:
+    """Default emitter: a ``warning`` event on the global event sink."""
+    get_sink().emit("warning", monitor=monitor, **fields)
+
+
+class Corollary7KnockoutMonitor:
+    """Warn when the dominant class stops losing its constant fraction.
+
+    Parameters mirror the corollary's quantifiers: ``min_class_size`` is
+    the smallest ``|V_i|`` worth judging (the ``e^{-c|V_i|}`` failure
+    probability is only small for large classes), ``delta`` bounds
+    ``n_{<i} / n_i`` (the "dominant" hypothesis), ``bound`` is the
+    constant fraction the mean must clear, and ``min_samples`` keeps
+    sampling noise from producing false alarms. The warning latches —
+    one per run, carrying the offending mean and sample count.
+    """
+
+    name = "corollary7_knockout"
+
+    def __init__(
+        self,
+        bound: float = 0.05,
+        min_class_size: int = 16,
+        delta: float = 0.5,
+        min_samples: int = 20,
+        emit: Optional[WarningEmitter] = None,
+    ) -> None:
+        if not 0.0 < bound < 1.0:
+            raise ValueError(f"bound must be in (0, 1) (got {bound})")
+        self.bound = bound
+        self.min_class_size = min_class_size
+        self.delta = delta
+        self.min_samples = min_samples
+        self._emit = emit if emit is not None else _sink_emitter
+        self.samples = 0
+        self.fraction_sum = 0.0
+        self.warned = False
+
+    def on_round(self, probe: RoundProbe) -> None:
+        if not probe.class_stats or probe.tx_count < 1:
+            return
+        sizes = [size for _, size, _ in probe.class_stats]
+        dominant_at = max(range(len(sizes)), key=sizes.__getitem__)
+        index, size, knocked = probe.class_stats[dominant_at]
+        if size < self.min_class_size:
+            return
+        smaller = sum(s for i, s, _ in probe.class_stats if i < index)
+        if smaller > self.delta * size:
+            return
+        self.samples += 1
+        self.fraction_sum += knocked / size
+        self._check()
+
+    @property
+    def mean_fraction(self) -> float:
+        return self.fraction_sum / self.samples if self.samples else float("nan")
+
+    def _check(self) -> None:
+        if self.warned or self.samples < self.min_samples:
+            return
+        if self.mean_fraction < self.bound:
+            self.warned = True
+            self._emit(
+                self.name,
+                claim="Corollary 7",
+                detail=(
+                    "mean dominant-class single-round knockout fraction "
+                    "below the constant-fraction bound"
+                ),
+                mean_fraction=self.mean_fraction,
+                bound=self.bound,
+                samples=self.samples,
+            )
+
+    def finish(self) -> None:
+        # A short run may end before min_samples rounds qualify; judge
+        # whatever evidence exists as long as it is not a single round.
+        if not self.warned and 1 < self.samples < self.min_samples:
+            if self.mean_fraction < self.bound:
+                self.warned = True
+                self._emit(
+                    self.name,
+                    claim="Corollary 7",
+                    detail=(
+                        "mean dominant-class knockout fraction below bound "
+                        "(small sample)"
+                    ),
+                    mean_fraction=self.mean_fraction,
+                    bound=self.bound,
+                    samples=self.samples,
+                )
+
+
+class SINRDeliveryMonitor:
+    """Warn when a message clears ``beta`` yet is not delivered.
+
+    ``epsilon`` absorbs the float rounding between the channel's decode
+    comparison (``best >= beta * (noise + interference)``) and the
+    recorded ratio ``sinr = best / (noise + interference)``.
+    """
+
+    name = "sinr_delivery"
+
+    def __init__(
+        self,
+        epsilon: float = 1e-9,
+        max_warnings: int = 10,
+        emit: Optional[WarningEmitter] = None,
+    ) -> None:
+        self.epsilon = epsilon
+        self.max_warnings = max_warnings
+        self._emit = emit if emit is not None else _sink_emitter
+        self.violations = 0
+
+    def on_sinr(self, probe: SINRProbe) -> None:
+        threshold = probe.beta * (1.0 + self.epsilon)
+        for receiver, sinr, delivered in zip(
+            probe.receivers, probe.sinr, probe.delivered
+        ):
+            if delivered or sinr < threshold:
+                continue
+            self.violations += 1
+            if self.violations <= self.max_warnings:
+                self._emit(
+                    self.name,
+                    claim="Equation 1",
+                    detail="SINR cleared beta but message was not delivered",
+                    trial=probe.trial,
+                    round=probe.round_index,
+                    receiver=int(receiver),
+                    sinr=float(sinr),
+                    beta=probe.beta,
+                )
+
+    def finish(self) -> None:
+        overflow = self.violations - self.max_warnings
+        if overflow > 0:
+            self._emit(
+                self.name,
+                claim="Equation 1",
+                detail=f"{overflow} further delivery violations suppressed",
+                total_violations=self.violations,
+            )
+
+
+class ActiveSetGrowthMonitor:
+    """Warn when the active set grows with no pending activations."""
+
+    name = "active_set_growth"
+
+    def __init__(
+        self, max_warnings: int = 10, emit: Optional[WarningEmitter] = None
+    ) -> None:
+        self.max_warnings = max_warnings
+        self._emit = emit if emit is not None else _sink_emitter
+        self.violations = 0
+        self._last: Dict[int, RoundProbe] = {}
+
+    def on_round(self, probe: RoundProbe) -> None:
+        previous = self._last.get(probe.trial)
+        self._last[probe.trial] = probe
+        if previous is None or probe.round_index <= previous.round_index:
+            return
+        if previous.pending == 0 and probe.active_before > previous.active_before:
+            self.violations += 1
+            if self.violations <= self.max_warnings:
+                self._emit(
+                    self.name,
+                    claim="Section 2 (knocked-out nodes stay out)",
+                    detail="active set grew with no pending activations",
+                    trial=probe.trial,
+                    round=probe.round_index,
+                    active_before=probe.active_before,
+                    previous_active=previous.active_before,
+                )
+
+    def on_execution_end(self, probe) -> None:
+        self._last.pop(probe.trial, None)
+
+
+def default_monitors(emit: Optional[WarningEmitter] = None):
+    """The stock monitor set a probes-enabled telemetry session installs."""
+    return [
+        Corollary7KnockoutMonitor(emit=emit),
+        SINRDeliveryMonitor(emit=emit),
+        ActiveSetGrowthMonitor(emit=emit),
+    ]

@@ -33,6 +33,7 @@ from typing import Any, Dict, Optional, Union
 
 from repro.obs.events import JsonlEventSink, set_sink
 from repro.obs.manifest import RunManifest
+from repro.obs.probe import PROBES_FILENAME, ProbeBus, ProbeRecorder, set_probe_bus
 from repro.obs.registry import MetricsRegistry, set_registry
 
 __all__ = ["TelemetrySession"]
@@ -45,7 +46,15 @@ EVENTS_FILENAME = "events.jsonl"
 
 
 class TelemetrySession:
-    """Collect manifest + metrics + events for one run into a directory."""
+    """Collect manifest + metrics + events for one run into a directory.
+
+    With ``probes=True`` the session additionally installs an enabled
+    round-level probe bus (:mod:`repro.obs.probe`) carrying a
+    :class:`~repro.obs.probe.ProbeRecorder` plus the stock invariant
+    monitors (:mod:`repro.obs.monitors`); on finish the recorded probes
+    are written as ``probes.npz`` beside ``metrics.json`` and any monitor
+    verdicts land as ``warning`` events in ``events.jsonl``.
+    """
 
     def __init__(
         self,
@@ -55,6 +64,7 @@ class TelemetrySession:
         seed: Any = None,
         config: Optional[Dict[str, Any]] = None,
         registry: Optional[MetricsRegistry] = None,
+        probes: bool = False,
     ) -> None:
         self.directory = Path(directory)
         self.run_id = run_id or uuid.uuid4().hex[:12]
@@ -64,8 +74,12 @@ class TelemetrySession:
             run_id=self.run_id, command=command, seed=seed, config=config
         )
         self.sink: Optional[JsonlEventSink] = None
+        self.probes = probes
+        self.probe_bus: Optional[ProbeBus] = None
+        self.probe_recorder: Optional[ProbeRecorder] = None
         self._previous_registry: Optional[MetricsRegistry] = None
         self._previous_sink = None
+        self._previous_probe_bus: Optional[ProbeBus] = None
         self._active = False
 
     @property
@@ -80,6 +94,10 @@ class TelemetrySession:
     def events_path(self) -> Path:
         return self.directory / EVENTS_FILENAME
 
+    @property
+    def probes_path(self) -> Path:
+        return self.directory / PROBES_FILENAME
+
     def start(self) -> "TelemetrySession":
         """Create the directory, write the manifest, install the globals."""
         if self._active:
@@ -89,6 +107,15 @@ class TelemetrySession:
         self.sink = JsonlEventSink(self.events_path)
         self._previous_registry = set_registry(self.registry)
         self._previous_sink = set_sink(self.sink)
+        if self.probes:
+            from repro.obs.monitors import default_monitors
+
+            self.probe_bus = ProbeBus(enabled=True)
+            self.probe_recorder = ProbeRecorder()
+            self.probe_bus.subscribe(self.probe_recorder)
+            for monitor in default_monitors():
+                self.probe_bus.subscribe(monitor)
+            self._previous_probe_bus = set_probe_bus(self.probe_bus)
         self._active = True
         self.sink.emit("session_start", run_id=self.run_id)
         return self
@@ -106,10 +133,26 @@ class TelemetrySession:
             handle.write("\n")
         return snapshot
 
+    def set_profile(self, report: Dict[str, Any]) -> None:
+        """Attach a profiling report for the final ``manifest.json``."""
+        self.manifest.profile = report
+
     def finish(self, status: str = "completed") -> None:
         """Finalise all artefacts and restore the previous globals."""
         if not self._active:
             return
+        if self.probe_bus is not None:
+            # Monitors flush their final verdicts (warning events) while
+            # the session sink is still installed.
+            self.probe_bus.finish()
+            self.probe_recorder.write(self.probes_path)
+            self.sink.emit(
+                "probes_written",
+                path=str(self.probes_path),
+                executions=self.probe_recorder.executions_recorded,
+                rounds=self.probe_recorder.rounds_recorded,
+            )
+            set_probe_bus(self._previous_probe_bus)
         self.sink.emit("session_end", run_id=self.run_id, status=status)
         self._active = False
         self.write_metrics_snapshot()

@@ -33,6 +33,7 @@ from typing import Callable, List, Optional
 
 import numpy as np
 
+from repro.obs.probe import get_probe_bus, link_class_round_stats
 from repro.obs.registry import get_registry
 from repro.protocols.base import Action, Feedback, NodeProtocol
 from repro.radio.channel import RadioChannel
@@ -141,10 +142,17 @@ class Simulation:
         analysis hooks): when the global metrics registry is enabled the
         engine records per-round transmitter/reception/knockout counts
         and the active population under ``sim.*`` — see
-        docs/observability.md for the metric schema.
+        docs/observability.md for the metric schema. When the global
+        probe bus is enabled the engine additionally publishes
+        round-level flight-recorder probes (:mod:`repro.obs.probe`).
         """
         obs = get_registry()
         recording = obs.enabled
+        bus = get_probe_bus()
+        probing = bus.enabled
+        if probing:
+            bus.begin_execution(n=self.channel.n)
+            distances = getattr(self.channel, "distances", None)
         if recording:
             obs.counter("sim.executions").inc()
             c_rounds = obs.counter("sim.rounds")
@@ -177,6 +185,9 @@ class Simulation:
                 is Action.TRANSMIT
             ]
             listeners = [int(i) for i in active_ids if i not in set(transmitters)]
+            if probing:
+                bus.begin_round(round_index)
+                mask_before = active & awake
             report = self.channel.resolve(
                 transmitters, rng=self.rng, listeners=listeners
             )
@@ -186,6 +197,19 @@ class Simulation:
             )
             for node_id in knocked_out:
                 active[node_id] = False
+            if probing:
+                bus.emit_round(
+                    active_before=active_ids.size,
+                    tx_count=len(transmitters),
+                    knockouts=len(knocked_out),
+                    knocked_ids=knocked_out,
+                    pending=int(np.count_nonzero(self.activation > round_index)),
+                    class_stats=(
+                        link_class_round_stats(distances, mask_before, knocked_out)
+                        if distances is not None and active_ids.size > 0
+                        else ()
+                    ),
+                )
 
             record = RoundRecord(
                 index=round_index,
@@ -212,6 +236,8 @@ class Simulation:
                 break
         if recording and trace.solved:
             obs.counter("sim.solved_executions").inc()
+        if probing:
+            bus.end_execution(trace.rounds_executed, trace.solved_round)
         return trace
 
     def _deliver_feedback(

@@ -24,6 +24,7 @@ from typing import Callable, List, Optional
 
 import numpy as np
 
+from repro.obs.probe import get_probe_bus, link_class_round_stats
 from repro.obs.registry import get_registry
 from repro.sinr.channel import SINRChannel
 
@@ -37,6 +38,8 @@ __all__ = ["FastRunResult", "FastRoundTelemetry", "fast_fixed_probability_run"]
 #: knockout count is reported as 0 because the fast path stops before
 #: resolving it.
 FastRoundTelemetry = Callable[[int, int, int, int], None]
+
+_EMPTY_IDS = np.empty(0, dtype=np.intp)
 
 
 @dataclass(frozen=True)
@@ -110,6 +113,10 @@ def fast_fixed_probability_run(
         obs.counter("fast.executions").inc()
         c_rounds = obs.counter("fast.rounds")
         c_ko = obs.counter("fast.knockouts")
+    bus = get_probe_bus()
+    probing = bus.enabled
+    if probing:
+        bus.begin_execution(n=n)
 
     active = np.ones(n, dtype=bool)
     active_counts: List[int] = []
@@ -117,6 +124,8 @@ def fast_fixed_probability_run(
     for round_index in range(max_rounds):
         active_ids = np.flatnonzero(active)
         if active_ids.size == 0:
+            if probing:
+                bus.end_execution(round_index, None)
             return FastRunResult(
                 n=n,
                 solved_round=None,
@@ -130,11 +139,26 @@ def fast_fixed_probability_run(
         tx = active_ids[coins]
         if recording:
             c_rounds.inc()
+        if probing:
+            bus.begin_round(round_index)
         if tx.size == 1:
             if telemetry is not None:
                 telemetry(round_index, num_active, 1, 0)
             if recording:
                 obs.counter("fast.solved_executions").inc()
+            if probing:
+                # The fast path stops before resolving the solo round, so
+                # its knockout count is 0 here — same as the telemetry
+                # callback's contract.
+                bus.emit_round(
+                    active_before=num_active,
+                    tx_count=1,
+                    knockouts=0,
+                    class_stats=link_class_round_stats(
+                        channel.distances, active, ()
+                    ),
+                )
+                bus.end_execution(round_index + 1, round_index)
             return FastRunResult(
                 n=n,
                 solved_round=round_index,
@@ -142,20 +166,64 @@ def fast_fixed_probability_run(
                 active_counts=active_counts,
             )
         knockouts = 0
+        knocked_nodes: np.ndarray = _EMPTY_IDS
+        mask_before = active.copy() if probing else None
         if tx.size > 0:
             listeners = active_ids[~coins]
             if listeners.size > 0:
                 rows = gains[tx][:, listeners]
                 totals = rows.sum(axis=0) + static_external[listeners]
-                best = rows.max(axis=0)
-                decoded = best >= params.beta * (params.noise + totals - best)
+                if probing:
+                    # argmax instead of max: same best value bit-for-bit,
+                    # but keeps the winning row for the SINR probe. No
+                    # extra RNG draws — probes never perturb the run.
+                    cols = np.arange(listeners.size)
+                    best_rows = rows.argmax(axis=0)
+                    best = rows[best_rows, cols]
+                else:
+                    best = rows.max(axis=0)
+                interference = totals - best
+                decoded = best >= params.beta * (params.noise + interference)
                 knockouts = int(np.count_nonzero(decoded))
-                active[listeners[decoded]] = False
+                knocked_nodes = listeners[decoded]
+                if probing:
+                    denom = params.noise + interference
+                    with np.errstate(divide="ignore", invalid="ignore"):
+                        sinr = np.where(denom > 0.0, best / denom, np.inf)
+                    others = rows.copy()
+                    others[best_rows, cols] = -np.inf
+                    second_rows = others.argmax(axis=0)
+                    second = others[second_rows, cols]
+                    with np.errstate(divide="ignore", invalid="ignore"):
+                        top_frac = np.where(
+                            interference > 0.0, second / interference, 0.0
+                        )
+                    bus.emit_sinr(
+                        receivers=listeners.astype(np.int64),
+                        sinr=sinr,
+                        delivered=decoded,
+                        top_interferer=tx[second_rows].astype(np.int64),
+                        top_fraction=top_frac,
+                        beta=params.beta,
+                    )
+                active[knocked_nodes] = False
         if telemetry is not None:
             telemetry(round_index, num_active, int(tx.size), knockouts)
         if recording and knockouts:
             c_ko.inc(knockouts)
+        if probing:
+            bus.emit_round(
+                active_before=num_active,
+                tx_count=int(tx.size),
+                knockouts=knockouts,
+                knocked_ids=knocked_nodes,
+                class_stats=link_class_round_stats(
+                    channel.distances, mask_before, knocked_nodes
+                ),
+            )
 
+    if probing:
+        bus.end_execution(max_rounds, None)
     return FastRunResult(
         n=n,
         solved_round=None,

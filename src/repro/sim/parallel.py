@@ -82,6 +82,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.obs.events import QueueEventSink, get_sink, set_sink
+from repro.obs.probe import ProbeBus, ProbeRecorder, get_probe_bus, set_probe_bus
 from repro.obs.registry import MetricsRegistry, get_registry, set_registry
 from repro.protocols.base import ProtocolFactory
 from repro.sim.fast import fast_fixed_probability_run
@@ -239,6 +240,7 @@ class _ShardSpec:
     max_rounds: int
     keep_traces: bool
     recording: bool
+    probing: bool = False
     #: ``(trial_index, deploy_seed, protocol_seed)`` triples.
     entries: List[Tuple[int, np.random.SeedSequence, np.random.SeedSequence]] = field(
         default_factory=list
@@ -262,6 +264,22 @@ def _shard_worker(spec: _ShardSpec, results) -> None:
             sink = QueueEventSink(results, spec.worker_id)
             set_sink(sink)
             sink.emit("worker_start", trials=len(spec.entries), mode=spec.mode)
+        probe_bus = None
+        recorder = None
+        if spec.probing:
+            # Local flight recorder: probes accumulate in-process and the
+            # whole columnar snapshot ships back once at shard end (probe
+            # volume would swamp the queue trial-by-trial). Monitors run
+            # here too — their warnings ride the worker's event sink, so
+            # they arrive worker-tagged like every other event.
+            from repro.obs.monitors import default_monitors
+
+            probe_bus = ProbeBus(enabled=True)
+            recorder = ProbeRecorder()
+            probe_bus.subscribe(recorder)
+            for monitor in default_monitors():
+                probe_bus.subscribe(monitor)
+            set_probe_bus(probe_bus)
 
         shared_channel = None
         if getattr(spec.channel_factory, DETERMINISTIC_ATTR, False):
@@ -270,6 +288,8 @@ def _shard_worker(spec: _ShardSpec, results) -> None:
         for trial_index, deploy_seed, protocol_seed in spec.entries:
             deploy_rng = np.random.default_rng(deploy_seed)
             protocol_rng = np.random.default_rng(protocol_seed)
+            if probe_bus is not None:
+                probe_bus.set_trial(trial_index)
             started = time.perf_counter()
             if spec.mode == "engine":
                 trace = execute_trial(
@@ -308,6 +328,9 @@ def _shard_worker(spec: _ShardSpec, results) -> None:
                 }
             results.put(("trial", spec.worker_id, payload))
 
+        if spec.probing:
+            probe_bus.finish()
+            results.put(("probes", spec.worker_id, recorder.snapshot()))
         if spec.recording:
             results.put(("metrics", spec.worker_id, registry.snapshot()))
         results.put(("done", spec.worker_id))
@@ -332,6 +355,8 @@ def _execute_sharded(
     obs = get_registry()
     recording = obs.enabled
     sink = get_sink() if recording else None
+    probe_bus = get_probe_bus()
+    probing = probe_bus.enabled
 
     sequences = spawn_seed_sequences(seed, 2 * trials)
     shards = partition_trials(trials, workers)
@@ -345,6 +370,7 @@ def _execute_sharded(
             max_rounds=max_rounds,
             keep_traces=keep_traces,
             recording=recording,
+            probing=probing,
             entries=[
                 (trial, sequences[2 * trial], sequences[2 * trial + 1])
                 for trial in shard
@@ -364,6 +390,7 @@ def _execute_sharded(
         process.start()
 
     outcomes: Dict[int, Dict[str, object]] = {}
+    probe_snapshots: Dict[int, Dict[str, np.ndarray]] = {}
     pending = {spec.worker_id for spec in specs}
     last_heartbeat = batch_started
     failure: Optional[str] = None
@@ -407,6 +434,8 @@ def _execute_sharded(
             elif kind == "metrics":
                 if recording:
                     obs.merge_snapshot(message[2])
+            elif kind == "probes":
+                probe_snapshots[message[1]] = message[2]
             elif kind == "done":
                 pending.discard(message[1])
             elif kind == "error":
@@ -427,6 +456,12 @@ def _execute_sharded(
         raise RuntimeError(
             f"parallel run lost trials: expected {trials}, got {len(outcomes)}"
         )
+    if probing:
+        # Shards own contiguous ascending trial ranges, so absorbing in
+        # worker order reproduces the serial recorder's row order exactly
+        # (docs/parallelism.md) — no global sort, no reindexing.
+        for worker_id in sorted(probe_snapshots):
+            probe_bus.absorb(probe_snapshots[worker_id])
 
     total_wall_time = time.perf_counter() - batch_started
     rounds: List[int] = []
@@ -574,6 +609,8 @@ def run_fast_trials(
     recording = obs.enabled
     sink = get_sink() if recording else None
     last_heartbeat = time.perf_counter()
+    probe_bus = get_probe_bus()
+    probing = probe_bus.enabled
 
     shared_channel = None
     if getattr(channel_factory, DETERMINISTIC_ATTR, False):
@@ -586,6 +623,8 @@ def run_fast_trials(
     for trial in range(trials):
         deploy_rng = np.random.default_rng(sequences[2 * trial])
         run_rng = np.random.default_rng(sequences[2 * trial + 1])
+        if probing:
+            probe_bus.set_trial(trial)
         trial_started = time.perf_counter()
         channel = shared_channel if shared_channel is not None else channel_factory(deploy_rng)
         outcome = fast_fixed_probability_run(channel, p, run_rng, max_rounds=max_rounds)

@@ -17,6 +17,7 @@ from typing import Callable, List, Optional
 import numpy as np
 
 from repro.obs.events import get_sink
+from repro.obs.probe import get_probe_bus
 from repro.obs.registry import get_registry
 from repro.protocols.base import ProtocolFactory
 from repro.sim.engine import Simulation
@@ -205,6 +206,8 @@ def run_trials(
     recording = obs.enabled
     sink = get_sink() if recording else None
     last_heartbeat = time.perf_counter()
+    probe_bus = get_probe_bus()
+    probing = probe_bus.enabled
 
     shared_channel = None
     if getattr(channel_factory, "deterministic", False):
@@ -214,6 +217,8 @@ def run_trials(
     for trial in range(trials):
         deploy_rng = generators[2 * trial]
         protocol_rng = generators[2 * trial + 1]
+        if probing:
+            probe_bus.set_trial(trial)
         trial_started = time.perf_counter()
         trace = execute_trial(
             channel_factory,

@@ -26,6 +26,7 @@ import time
 
 import numpy as np
 
+from repro.obs.probe import get_probe_bus
 from repro.obs.registry import get_registry
 from repro.sinr.fading import DeterministicGain, GainModel
 from repro.sinr.geometry import as_positions, pairwise_distances
@@ -229,6 +230,39 @@ class SINRChannel:
         best = rows[best_rows, np.arange(rows.shape[1])]
         interference = totals - best
         ok = best >= self.params.beta * (self.params.noise + interference)
+
+        bus = get_probe_bus()
+        if bus.enabled:
+            # Flight-recorder probe: per-listener SINR of the decode
+            # candidate plus the strongest competing transmitter's share
+            # of the interference sum (repro.obs.probe). Reads only
+            # already-computed reductions; consumes no RNG draws.
+            cols = np.arange(rows.shape[1])
+            denom = self.params.noise + interference
+            with np.errstate(divide="ignore", invalid="ignore"):
+                sinr = np.where(denom > 0.0, best / denom, np.inf)
+            if tx.size > 1:
+                others = rows.copy()
+                others[best_rows, cols] = -np.inf
+                second_rows = others.argmax(axis=0)
+                second = others[second_rows, cols]
+                top_ids = tx[second_rows].astype(np.int64)
+                with np.errstate(divide="ignore", invalid="ignore"):
+                    top_frac = np.where(
+                        interference > 0.0, second / interference, 0.0
+                    )
+            else:
+                top_ids = np.full(listener_ids.size, -1, dtype=np.int64)
+                top_frac = np.zeros(listener_ids.size)
+            bus.emit_sinr(
+                receivers=listener_ids.astype(np.int64),
+                sinr=sinr,
+                delivered=ok,
+                top_interferer=top_ids,
+                top_fraction=top_frac,
+                beta=self.params.beta,
+            )
+
         for col in np.flatnonzero(ok):
             received[int(listener_ids[col])] = int(tx[best_rows[col]])
         energy = {

@@ -1,0 +1,121 @@
+"""Offline probe analyzer: E5 table parity, rendering, CLI exit codes.
+
+The load-bearing test records a real (shrunken) E5 run through a
+probes-enabled telemetry session and checks that the analyzer's
+knockout-fraction table reproduces the experiment's own report rows
+within float tolerance — the flight recorder and the experiment must
+agree about the dominant class, the partition, and the fractions. The
+same run must leave zero monitor warnings in ``events.jsonl``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import e5_knockout
+from repro.obs.analyze import (
+    DEFAULT_FAILURE_FRACTION,
+    dominant_class_fractions,
+    format_analysis,
+    knockout_fraction_table,
+    main,
+)
+from repro.obs.events import read_events
+from repro.obs.probe import load_probes
+from repro.obs.telemetry import TelemetrySession
+
+
+@pytest.fixture(scope="module")
+def e5_run(tmp_path_factory):
+    """One shrunken E5 run recorded through a probes-enabled session."""
+    directory = tmp_path_factory.mktemp("e5_probes")
+    config = e5_knockout.Config(sizes=[32, 64], trials=6)
+    with TelemetrySession(directory, probes=True, seed=config.seed) as session:
+        result = e5_knockout.run(config)
+    return directory, config, result
+
+
+class TestE5TableParity:
+    def test_table_matches_experiment_rows(self, e5_run):
+        directory, config, result = e5_run
+        probes = load_probes(directory / "probes.npz")
+        header, rows = knockout_fraction_table(
+            probes, failure_fraction=e5_knockout.FAILURE_FRACTION
+        )
+        assert header == result.header
+        assert len(rows) == len(result.rows)
+        for probe_row, e5_row in zip(rows, result.rows):
+            assert probe_row[0] == e5_row[0]  # n
+            assert probe_row[1] == e5_row[1]  # trials
+            np.testing.assert_allclose(probe_row[2:], e5_row[2:], rtol=1e-12)
+
+    def test_fractions_keyed_by_size_in_sweep_order(self, e5_run):
+        directory, config, _ = e5_run
+        probes = load_probes(directory / "probes.npz")
+        fractions = dominant_class_fractions(probes)
+        assert list(fractions) == config.sizes
+        assert all(len(v) == config.trials for v in fractions.values())
+
+    def test_passing_run_has_zero_warnings(self, e5_run):
+        directory, _, result = e5_run
+        assert result.passed
+        events = read_events(directory / "events.jsonl")
+        warnings = [e for e in events if e.get("event") == "warning"]
+        assert warnings == []
+
+
+class TestRendering:
+    def test_format_analysis_sections(self, e5_run):
+        directory, config, _ = e5_run
+        report = format_analysis(directory)
+        assert "probe analysis" in report
+        assert f"{len(config.sizes) * config.trials} executions" in report
+        assert "knockout fractions" in report
+        assert "monitor warnings: none" in report
+
+    def test_doctored_events_surface_in_summary(self, e5_run, tmp_path):
+        # Copy the artefacts, then doctor events.jsonl with a warning: the
+        # analyzer must surface it instead of reporting a clean run.
+        import json
+        import shutil
+
+        directory, _, _ = e5_run
+        doctored = tmp_path / "doctored"
+        doctored.mkdir()
+        shutil.copy(directory / "probes.npz", doctored / "probes.npz")
+        with open(doctored / "events.jsonl", "w", encoding="utf-8") as handle:
+            handle.write(
+                json.dumps(
+                    {
+                        "event": "warning",
+                        "monitor": "corollary7_knockout",
+                        "detail": "doctored violation",
+                    }
+                )
+                + "\n"
+            )
+        report = format_analysis(doctored)
+        assert "monitor warnings: 1" in report
+        assert "corollary7_knockout" in report
+
+
+class TestCli:
+    def test_exit_zero_and_prints_report(self, e5_run, capsys):
+        directory, _, _ = e5_run
+        assert main([str(directory)]) == 0
+        out = capsys.readouterr().out
+        assert "knockout fractions" in out
+
+    def test_missing_probes_exits_two(self, tmp_path, capsys):
+        assert main([str(tmp_path)]) == 2
+        err = capsys.readouterr().err
+        assert "probes.npz" in err
+
+    def test_failure_fraction_flag(self, e5_run, capsys):
+        directory, _, _ = e5_run
+        # An absurd threshold marks every round a failure.
+        assert main([str(directory), "--failure-fraction", "0.999"]) == 0
+        out = capsys.readouterr().out
+        assert "failure < 0.999" in out
+
+    def test_default_failure_fraction_matches_e5(self):
+        assert DEFAULT_FAILURE_FRACTION == e5_knockout.FAILURE_FRACTION

@@ -32,6 +32,7 @@ class TestHarness:
             "single_round_resolve",
             "full_execution_engine",
             "fast_path_execution",
+            "fast_path_execution_probes",
             "link_class_partition",
             "parallel_trials_w1",
             "parallel_trials_w2",
@@ -47,6 +48,11 @@ class TestHarness:
         fast = results["fast_path_execution"]
         assert fast["peak_active"] == 48
         assert fast["solved"] is True
+        probed = results["fast_path_execution_probes"]
+        # The probes variant runs the identical seeded workload — same
+        # round count — and actually records one probe per round.
+        assert probed["rounds"] == fast["rounds"]
+        assert probed["probe_rounds"] == fast["rounds"]
         for workers in (1, 2, 4):
             entry = results[f"parallel_trials_w{workers}"]
             assert entry["workers"] == workers
@@ -134,6 +140,23 @@ class TestBenchDiff:
         assert bench_diff.main([baseline, candidate]) == 0
         out = capsys.readouterr().out
         assert "new" in out and "removed" in out
+        # One-sided entries are labelled explicitly and summarised.
+        assert "added benchmarks (report-only, never gated): new" in out
+        assert "removed benchmarks (report-only, never gated): old" in out
+
+    def test_one_sided_rows_carry_verdicts(self, bench_diff, tmp_path):
+        baseline = self._write(tmp_path, "base.json", _tiny_record(old=1.0))
+        candidate = self._write(tmp_path, "cand.json", _tiny_record(new=2.0))
+        rows, regressions = bench_diff.compare_records(
+            load_bench_record(baseline), load_bench_record(candidate)
+        )
+        assert regressions == []
+        verdicts = {row[0]: row[-1] for row in rows}
+        assert verdicts == {"new": "added", "old": "removed"}
+        # Added rows show a candidate time only; removed the reverse.
+        by_name = {row[0]: row for row in rows}
+        assert by_name["new"][1] == "-" and by_name["new"][2] != "-"
+        assert by_name["old"][2] == "-" and by_name["old"][1] != "-"
 
     def test_compare_records_reports_rps_delta(self, bench_diff, tmp_path):
         base = {"x": {"wall_time_s": 1.0, "rounds_per_sec": 100.0}}

@@ -23,3 +23,68 @@ class TestArgumentHandling:
         assert "check" in out
         assert "PASS" in out
         assert exit_code == 0
+
+    def test_probes_without_telemetry_dir_errors(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["E5", "--probes"])
+        assert "--probes requires --telemetry-dir" in capsys.readouterr().err
+
+
+class TestProbesFlag:
+    def test_probes_run_writes_npz_and_analyzes(self, tmp_path, capsys):
+        from repro.obs.analyze import main as analyze_main
+        from repro.obs.probe import load_probes
+
+        directory = tmp_path / "telemetry"
+        exit_code = main(["E5", "--telemetry-dir", str(directory), "--probes"])
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "probes recorded" in out
+        probes = load_probes(directory / "probes.npz")
+        # E5 quick: one single-round execution per (size, trial) pair.
+        from repro.experiments.e5_knockout import Config
+
+        config = Config.quick()
+        assert probes["exec_trial"].size == len(config.sizes) * config.trials
+        # The recorded run must analyze cleanly end to end.
+        assert analyze_main([str(directory)]) == 0
+        assert "knockout fractions" in capsys.readouterr().out
+
+    def test_probes_run_emits_no_warnings(self, tmp_path, capsys):
+        from repro.obs.events import read_events
+
+        directory = tmp_path / "telemetry"
+        assert main(["E5", "--telemetry-dir", str(directory), "--probes"]) == 0
+        capsys.readouterr()
+        events = read_events(directory / "events.jsonl")
+        assert [e for e in events if e.get("event") == "warning"] == []
+        written = [e for e in events if e.get("event") == "probes_written"]
+        assert len(written) == 1 and written[0]["executions"] > 0
+
+
+class TestProfileFlag:
+    def test_profile_prints_report(self, capsys):
+        exit_code = main(["E5", "--profile"])
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "profile (cProfile)" in out
+        assert "per-phase exclusive time" in out
+
+    def test_profile_lands_in_manifest(self, tmp_path, capsys):
+        from repro.obs.manifest import RunManifest
+
+        directory = tmp_path / "telemetry"
+        exit_code = main(["E5", "--telemetry-dir", str(directory), "--profile"])
+        capsys.readouterr()
+        assert exit_code == 0
+        manifest = RunManifest.load(directory / "manifest.json")
+        assert manifest.profile is not None
+        assert manifest.profile["tool"] == "cProfile"
+        assert set(manifest.profile["phases"]) == {
+            "geometry",
+            "gain_matrix",
+            "round_loop",
+            "stats",
+            "other",
+        }
+        assert manifest.profile["hot_functions"]

@@ -1,0 +1,253 @@
+"""Theory-invariant monitors: silent on healthy streams, loud on doctored ones.
+
+The acceptance contract is asymmetric: a passing reproduction run must
+produce **zero** warnings (checked end-to-end in test_analyze.py on a real
+E5 run), while a stream doctored to violate Corollary 7 / Equation 1 /
+the no-resurrection rule must trigger exactly the right monitor. Warnings
+here are captured through the injectable ``emit`` callable, so no event
+sink is involved.
+"""
+
+import numpy as np
+import pytest
+
+from repro.deploy.topologies import uniform_disk
+from repro.obs.monitors import (
+    ActiveSetGrowthMonitor,
+    Corollary7KnockoutMonitor,
+    SINRDeliveryMonitor,
+    default_monitors,
+)
+from repro.obs.probe import ProbeBus, RoundProbe, SINRProbe, set_probe_bus
+from repro.protocols.simple import FixedProbabilityProtocol
+from repro.sim.engine import Simulation
+from repro.sim.seeding import generator_from
+from repro.sinr.channel import SINRChannel
+
+
+class _Capture:
+    def __init__(self):
+        self.warnings = []
+
+    def __call__(self, monitor, **fields):
+        self.warnings.append({"monitor": monitor, **fields})
+
+
+def _round_probe(
+    trial=0,
+    round_index=0,
+    active_before=64,
+    tx_count=8,
+    knockouts=0,
+    pending=0,
+    knocked_ids=(),
+    class_stats=(),
+):
+    return RoundProbe(
+        trial=trial,
+        round_index=round_index,
+        active_before=active_before,
+        tx_count=tx_count,
+        knockouts=knockouts,
+        pending=pending,
+        knocked_ids=knocked_ids,
+        class_stats=class_stats,
+    )
+
+
+class TestCorollary7Monitor:
+    def _doctored_round(self, round_index, knocked):
+        # One dominant class of 64 with a small class below it — the
+        # corollary's hypothesis holds, so the round qualifies.
+        return _round_probe(
+            round_index=round_index,
+            class_stats=((0, 8, 0), (1, 64, knocked)),
+        )
+
+    def test_doctored_trace_triggers_warning(self):
+        capture = _Capture()
+        monitor = Corollary7KnockoutMonitor(emit=capture)
+        # Zero knockouts from a large dominant class, round after round:
+        # the mean fraction is 0 < bound, and the warning fires exactly
+        # once (latched) at min_samples.
+        for round_index in range(monitor.min_samples + 10):
+            monitor.on_round(self._doctored_round(round_index, knocked=0))
+        monitor.finish()
+        assert len(capture.warnings) == 1
+        warning = capture.warnings[0]
+        assert warning["monitor"] == "corollary7_knockout"
+        assert warning["claim"] == "Corollary 7"
+        assert warning["mean_fraction"] == 0.0
+        assert warning["samples"] == monitor.min_samples
+
+    def test_healthy_fractions_stay_silent(self):
+        capture = _Capture()
+        monitor = Corollary7KnockoutMonitor(emit=capture)
+        # A healthy run knocks out ~30% of the dominant class per round.
+        for round_index in range(50):
+            monitor.on_round(self._doctored_round(round_index, knocked=20))
+        monitor.finish()
+        assert capture.warnings == []
+
+    def test_small_dominant_class_not_judged(self):
+        capture = _Capture()
+        monitor = Corollary7KnockoutMonitor(emit=capture)
+        for round_index in range(50):
+            monitor.on_round(
+                _round_probe(
+                    round_index=round_index, class_stats=((0, 4, 0),)
+                )
+            )
+        monitor.finish()
+        assert monitor.samples == 0
+        assert capture.warnings == []
+
+    def test_non_dominant_class_not_judged(self):
+        capture = _Capture()
+        monitor = Corollary7KnockoutMonitor(emit=capture)
+        # Smaller classes hold more than delta of the largest class's
+        # size, so the "dominant" hypothesis fails and nothing accrues.
+        for round_index in range(50):
+            monitor.on_round(
+                _round_probe(
+                    round_index=round_index,
+                    class_stats=((0, 40, 0), (1, 64, 0)),
+                )
+            )
+        monitor.finish()
+        assert monitor.samples == 0
+        assert capture.warnings == []
+
+    def test_short_run_judged_at_finish(self):
+        capture = _Capture()
+        monitor = Corollary7KnockoutMonitor(emit=capture)
+        for round_index in range(5):
+            monitor.on_round(self._doctored_round(round_index, knocked=0))
+        assert capture.warnings == []  # below min_samples, nothing yet
+        monitor.finish()
+        assert len(capture.warnings) == 1
+        assert "small sample" in capture.warnings[0]["detail"]
+
+    def test_single_qualifying_round_never_judged(self):
+        capture = _Capture()
+        monitor = Corollary7KnockoutMonitor(emit=capture)
+        monitor.on_round(self._doctored_round(0, knocked=0))
+        monitor.finish()
+        assert capture.warnings == []
+
+    def test_bound_validation(self):
+        with pytest.raises(ValueError, match="bound"):
+            Corollary7KnockoutMonitor(bound=1.5)
+
+
+class TestSINRDeliveryMonitor:
+    def _sinr_probe(self, sinr, delivered, beta=2.0):
+        count = len(sinr)
+        return SINRProbe(
+            trial=0,
+            round_index=3,
+            beta=beta,
+            receivers=np.arange(count),
+            sinr=np.asarray(sinr, dtype=float),
+            delivered=np.asarray(delivered, dtype=bool),
+            top_interferer=np.full(count, -1),
+            top_fraction=np.zeros(count),
+        )
+
+    def test_doctored_undelivered_above_beta_warns(self):
+        capture = _Capture()
+        monitor = SINRDeliveryMonitor(emit=capture)
+        monitor.on_sinr(self._sinr_probe([5.0, 1.0], [False, False]))
+        monitor.finish()
+        assert len(capture.warnings) == 1
+        assert capture.warnings[0]["receiver"] == 0
+        assert capture.warnings[0]["sinr"] == 5.0
+
+    def test_delivered_or_below_beta_silent(self):
+        capture = _Capture()
+        monitor = SINRDeliveryMonitor(emit=capture)
+        monitor.on_sinr(self._sinr_probe([5.0, 1.0, 1.99], [True, False, False]))
+        monitor.finish()
+        assert capture.warnings == []
+
+    def test_epsilon_absorbs_rounding(self):
+        capture = _Capture()
+        monitor = SINRDeliveryMonitor(emit=capture)
+        # Exactly beta (within epsilon) but undelivered: the channel's
+        # comparison may legitimately have gone the other way.
+        monitor.on_sinr(self._sinr_probe([2.0 * (1 + 1e-12)], [False]))
+        monitor.finish()
+        assert capture.warnings == []
+
+    def test_warning_cap_and_overflow_summary(self):
+        capture = _Capture()
+        monitor = SINRDeliveryMonitor(max_warnings=2, emit=capture)
+        for _ in range(5):
+            monitor.on_sinr(self._sinr_probe([9.0], [False]))
+        monitor.finish()
+        # 2 direct warnings + 1 overflow summary naming all 5 violations.
+        assert len(capture.warnings) == 3
+        assert capture.warnings[-1]["total_violations"] == 5
+
+
+class TestActiveSetGrowthMonitor:
+    def test_growth_without_pending_warns(self):
+        capture = _Capture()
+        monitor = ActiveSetGrowthMonitor(emit=capture)
+        monitor.on_round(_round_probe(round_index=0, active_before=10, pending=0))
+        monitor.on_round(_round_probe(round_index=1, active_before=12, pending=0))
+        assert len(capture.warnings) == 1
+        assert capture.warnings[0]["active_before"] == 12
+        assert capture.warnings[0]["previous_active"] == 10
+
+    def test_growth_with_pending_is_legitimate(self):
+        capture = _Capture()
+        monitor = ActiveSetGrowthMonitor(emit=capture)
+        monitor.on_round(_round_probe(round_index=0, active_before=10, pending=5))
+        monitor.on_round(_round_probe(round_index=1, active_before=12, pending=3))
+        assert capture.warnings == []
+
+    def test_shrinking_is_silent(self):
+        capture = _Capture()
+        monitor = ActiveSetGrowthMonitor(emit=capture)
+        for round_index, active in enumerate([10, 8, 8, 5]):
+            monitor.on_round(
+                _round_probe(round_index=round_index, active_before=active)
+            )
+        assert capture.warnings == []
+
+    def test_trials_tracked_independently(self):
+        capture = _Capture()
+        monitor = ActiveSetGrowthMonitor(emit=capture)
+        monitor.on_round(_round_probe(trial=0, round_index=5, active_before=4))
+        # Trial 1 starting with more active nodes is not growth.
+        monitor.on_round(_round_probe(trial=1, round_index=0, active_before=30))
+        assert capture.warnings == []
+
+
+class TestMonitorsOnRealRun:
+    def test_healthy_engine_run_emits_zero_warnings(self):
+        capture = _Capture()
+        bus = ProbeBus(enabled=True)
+        for monitor in default_monitors(emit=capture):
+            bus.subscribe(monitor)
+        previous = set_probe_bus(bus)
+        try:
+            channel = SINRChannel(uniform_disk(48, generator_from(21)))
+            nodes = FixedProbabilityProtocol(p=0.15).build(channel.n)
+            trace = Simulation(
+                channel, nodes, rng=generator_from(22), max_rounds=4_000
+            ).run()
+            bus.finish()
+        finally:
+            set_probe_bus(previous)
+        assert trace.solved
+        assert capture.warnings == []
+
+    def test_default_monitors_names(self):
+        names = {monitor.name for monitor in default_monitors()}
+        assert names == {
+            "corollary7_knockout",
+            "sinr_delivery",
+            "active_set_growth",
+        }

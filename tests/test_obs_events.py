@@ -64,6 +64,74 @@ class TestJsonlEventSink:
         assert read_events(path)[0]["where"] == str(tmp_path)
 
 
+class TestBufferedFlush:
+    def test_flush_every_batches_writes(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        sink = JsonlEventSink(path, flush_every=3)
+        sink.emit("a")
+        sink.emit("b")
+        # Two buffered events: nothing guaranteed on disk yet; the third
+        # emit crosses the threshold and drains the buffer.
+        sink.emit("c")
+        assert len(read_events(path)) == 3
+        sink.emit("d")
+        sink.close()  # close always drains the tail
+        assert [e["event"] for e in read_events(path)] == ["a", "b", "c", "d"]
+
+    def test_explicit_flush_drains_buffer(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        sink = JsonlEventSink(path, flush_every=100)
+        sink.emit("only")
+        sink.flush()
+        assert read_events(path)[0]["event"] == "only"
+        sink.close()
+
+    def test_flush_every_validation(self, tmp_path):
+        with pytest.raises(ValueError, match="flush_every"):
+            JsonlEventSink(tmp_path / "e.jsonl", flush_every=0)
+
+
+class TestRotation:
+    def test_rotates_at_max_bytes(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        # ~36 bytes per line: 20 events cross a 400-byte limit exactly
+        # once, so both generations together hold the full stream.
+        sink = JsonlEventSink(path, clock=lambda: 0.0, max_bytes=400)
+        for i in range(20):
+            sink.emit("tick", i=i)
+        sink.close()
+        assert sink.rotations == 1
+        rolled = tmp_path / "events.jsonl.1"
+        assert rolled.exists()
+        # Every emitted event survives, split across the two generations,
+        # and both files are independently parseable.
+        total = read_events(rolled) + read_events(path)
+        assert [e["i"] for e in total] == list(range(20))
+
+    def test_rotation_keeps_at_most_one_generation(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        sink = JsonlEventSink(path, clock=lambda: 0.0, max_bytes=50)
+        for i in range(30):
+            sink.emit("tick", i=i)
+        sink.close()
+        assert sink.rotations > 1
+        generations = sorted(p.name for p in tmp_path.iterdir())
+        assert generations == ["events.jsonl", "events.jsonl.1"]
+
+    def test_no_rotation_below_limit(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        sink = JsonlEventSink(path, max_bytes=1_000_000)
+        for _ in range(5):
+            sink.emit("small")
+        sink.close()
+        assert sink.rotations == 0
+        assert not (tmp_path / "events.jsonl.1").exists()
+
+    def test_max_bytes_validation(self, tmp_path):
+        with pytest.raises(ValueError, match="max_bytes"):
+            JsonlEventSink(tmp_path / "e.jsonl", max_bytes=0)
+
+
 class TestReadEventsValidation:
     def test_rejects_malformed_line(self, tmp_path):
         path = tmp_path / "bad.jsonl"

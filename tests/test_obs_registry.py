@@ -176,6 +176,41 @@ class TestMergeSnapshot:
         with pytest.raises(ValueError, match="unknown type"):
             MetricsRegistry().merge_snapshot({"x": {"type": "mystery"}})
 
+    def test_missing_type_rejected(self):
+        with pytest.raises(ValueError, match="unknown type"):
+            MetricsRegistry().merge_snapshot({"x": {"value": 1}})
+
+    def test_empty_snapshot_is_a_no_op(self):
+        parent = MetricsRegistry()
+        parent.counter("kept").inc(4)
+        before = parent.snapshot()
+        parent.merge_snapshot({})
+        assert parent.snapshot() == before
+
+    def test_unknown_metric_names_auto_create(self):
+        # A worker may have recorded instruments the parent never touched
+        # (e.g. the parent skipped the instrumented code path entirely) —
+        # merging must create them rather than drop or reject them.
+        parent, worker = MetricsRegistry(), MetricsRegistry()
+        worker.counter("only.in.worker").inc(7)
+        worker.gauge("worker.gauge").set(2.5)
+        worker.histogram("worker.hist", bounds=[1.0]).observe(0.5)
+        parent.merge_snapshot(worker.snapshot())
+        assert parent.counter("only.in.worker").value == 7
+        assert parent.gauge("worker.gauge").value == 2.5
+        assert parent.histogram("worker.hist").count == 1
+
+    def test_partial_failure_rejects_without_corrupting_merged_prefix(self):
+        # Bounds mismatch raises mid-merge; the error must be loud (the
+        # session's totals would silently undercount otherwise).
+        parent, worker = MetricsRegistry(), MetricsRegistry()
+        parent.histogram("h", bounds=[1.0])
+        worker.histogram("h", bounds=[2.0, 3.0]).observe(0.1)
+        with pytest.raises(ValueError, match="bounds differ"):
+            parent.merge_snapshot(worker.snapshot())
+        # The parent's own histogram is untouched by the failed merge.
+        assert parent.histogram("h").count == 0
+
     def test_merge_is_associative_with_serial_recording(self):
         # Splitting observations across two "workers" and merging must
         # equal recording everything in one registry.

@@ -14,6 +14,7 @@ import numpy as np
 import pytest
 
 from repro.obs.events import JsonlEventSink, read_events, set_sink
+from repro.obs.probe import ProbeBus, ProbeRecorder, set_probe_bus
 from repro.obs.registry import MetricsRegistry, set_registry
 from repro.protocols.simple import FixedProbabilityProtocol
 from repro.sim.parallel import (
@@ -259,6 +260,84 @@ class TestTelemetryParity:
         worker_starts = [e for e in events if e["event"] == "worker_start"]
         assert len(worker_starts) == 2
         assert sorted(e["worker_id"] for e in worker_starts) == [0, 1]
+
+
+class TestProbeParity:
+    """Workers merge probe streams back into exactly the serial artifact.
+
+    Workers own contiguous ascending trial ranges and the parent absorbs
+    their snapshots in worker-id order, so every probe column — not just
+    aggregate stats — must be bit-identical to a serial run's.
+    """
+
+    def _probe_run(self, runner, workers):
+        bus = ProbeBus(enabled=True)
+        recorder = ProbeRecorder()
+        bus.subscribe(recorder)
+        previous = set_probe_bus(bus)
+        try:
+            stats = runner(workers)
+        finally:
+            set_probe_bus(previous)
+        return stats, recorder.snapshot()
+
+    def _assert_snapshots_equal(self, serial, parallel):
+        assert set(parallel) == set(serial)
+        for column in serial:
+            assert np.array_equal(parallel[column], serial[column]), column
+
+    @pytest.mark.parametrize("workers", [2, 3])
+    def test_engine_probe_artifacts_match_serial(self, workers):
+        def runner(w):
+            return run_trials(
+                FACTORIES["deterministic"],
+                _protocol(),
+                trials=6,
+                seed=SEED,
+                max_rounds=MAX_ROUNDS,
+                workers=w,
+            )
+
+        serial_stats, serial_snap = self._probe_run(runner, 1)
+        parallel_stats, parallel_snap = self._probe_run(runner, workers)
+        assert parallel_stats.rounds == serial_stats.rounds
+        assert serial_snap["exec_trial"].size == 6
+        assert serial_snap["rounds_trial"].size > 0
+        assert serial_snap["sinr_trial"].size > 0
+        self._assert_snapshots_equal(serial_snap, parallel_snap)
+
+    @pytest.mark.parametrize("workers", [2, 3])
+    def test_fast_probe_artifacts_match_serial(self, workers):
+        def runner(w):
+            return run_fast_trials(
+                FACTORIES["deterministic"],
+                0.1,
+                trials=6,
+                seed=SEED,
+                max_rounds=MAX_ROUNDS,
+                workers=w,
+            )
+
+        serial_stats, serial_snap = self._probe_run(runner, 1)
+        parallel_stats, parallel_snap = self._probe_run(runner, workers)
+        assert parallel_stats.rounds == serial_stats.rounds
+        assert serial_snap["exec_trial"].size == 6
+        self._assert_snapshots_equal(serial_snap, parallel_snap)
+
+    def test_probes_do_not_perturb_results(self):
+        def runner(w):
+            return run_fast_trials(
+                FACTORIES["deterministic"],
+                0.1,
+                trials=4,
+                seed=SEED,
+                max_rounds=MAX_ROUNDS,
+                workers=w,
+            )
+
+        bare = runner(1)
+        probed, _ = self._probe_run(runner, 1)
+        assert probed.rounds == bare.rounds
 
 
 class TestPartition:

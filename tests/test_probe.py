@@ -1,0 +1,231 @@
+"""Probe bus + recorder: publication, trial numbering, npz round-trips.
+
+The flight recorder's contract has three legs: the bus stamps probes with
+correct (trial, round) coordinates, the recorder lays them out in the
+stable 27-column ``probes.npz`` schema, and an enabled bus never perturbs
+simulation results (no extra RNG draws). The last leg is what makes
+``--probes`` safe to flip on for any reproduction run.
+"""
+
+import numpy as np
+import pytest
+
+from repro.deploy.topologies import uniform_disk
+from repro.obs.probe import (
+    PROBES_FILENAME,
+    ProbeBus,
+    ProbeRecorder,
+    get_probe_bus,
+    link_class_round_stats,
+    load_probes,
+    set_probe_bus,
+)
+from repro.protocols.simple import FixedProbabilityProtocol
+from repro.sim.engine import Simulation
+from repro.sim.fast import fast_fixed_probability_run
+from repro.sim.seeding import generator_from
+from repro.sinr.channel import SINRChannel
+
+N = 24
+MAX_ROUNDS = 4_000
+
+
+def _channel(seed=5):
+    return SINRChannel(uniform_disk(N, generator_from(seed)))
+
+
+def _run_engine(channel, seed=6):
+    nodes = FixedProbabilityProtocol(p=0.2).build(channel.n)
+    return Simulation(
+        channel, nodes, rng=generator_from(seed), max_rounds=MAX_ROUNDS
+    ).run()
+
+
+def _recorded(run, *, bus=None):
+    bus = bus if bus is not None else ProbeBus(enabled=True)
+    recorder = ProbeRecorder()
+    bus.subscribe(recorder)
+    previous = set_probe_bus(bus)
+    try:
+        result = run()
+    finally:
+        set_probe_bus(previous)
+    return result, recorder
+
+
+class TestBusCoordinates:
+    def test_disabled_by_default(self):
+        assert ProbeBus().enabled is False
+        assert get_probe_bus().enabled is False
+
+    def test_set_trial_pins_next_execution(self):
+        bus = ProbeBus(enabled=True)
+        bus.set_trial(7)
+        assert bus.begin_execution(n=4) == 7
+        # After the pinned execution, auto-increment continues from it.
+        assert bus.begin_execution(n=4) == 8
+
+    def test_auto_increment_for_bare_simulations(self):
+        bus = ProbeBus(enabled=True)
+        assert bus.begin_execution(n=4) == 0
+        assert bus.begin_execution(n=4) == 1
+        assert bus.begin_execution(n=4) == 2
+
+    def test_set_probe_bus_returns_previous(self):
+        original = get_probe_bus()
+        replacement = ProbeBus(enabled=True)
+        assert set_probe_bus(replacement) is original
+        try:
+            assert get_probe_bus() is replacement
+        finally:
+            set_probe_bus(original)
+
+    def test_unsubscribe(self):
+        bus = ProbeBus(enabled=True)
+        recorder = ProbeRecorder()
+        bus.subscribe(recorder)
+        bus.unsubscribe(recorder)
+        bus.emit_round(active_before=3, tx_count=1, knockouts=0)
+        assert recorder.rounds_recorded == 0
+
+
+class TestEnginePublication:
+    def test_engine_records_rounds_and_execution(self):
+        trace, recorder = _recorded(lambda: _run_engine(_channel()))
+        snap = recorder.snapshot()
+        assert recorder.executions_recorded == 1
+        assert snap["exec_n"][0] == N
+        assert snap["exec_rounds"][0] == trace.rounds_executed
+        assert snap["exec_solved"][0] == (
+            trace.solved_round if trace.solved else -1
+        )
+        assert recorder.rounds_recorded == trace.rounds_executed
+        # Round indices are consecutive from zero for a single execution.
+        assert snap["rounds_round"].tolist() == list(range(trace.rounds_executed))
+        assert (snap["rounds_trial"] == 0).all()
+
+    def test_deactivation_rounds_cover_knocked_nodes(self):
+        trace, recorder = _recorded(lambda: _run_engine(_channel()))
+        snap = recorder.snapshot()
+        # Every knockout the rounds stream counts appears as one
+        # per-node deactivation row, and no node deactivates twice.
+        assert snap["deact_node"].size == snap["rounds_knockouts"].sum()
+        assert np.unique(snap["deact_node"]).size == snap["deact_node"].size
+
+    def test_sinr_probe_margins_and_delivery_agree(self):
+        _, recorder = _recorded(lambda: _run_engine(_channel()))
+        snap = recorder.snapshot()
+        assert snap["sinr_receiver"].size > 0
+        np.testing.assert_allclose(
+            snap["sinr_margin"], snap["sinr_value"] - snap["sinr_beta"]
+        )
+        delivered = snap["sinr_delivered"]
+        # Delivered implies SINR >= beta (up to rounding) — the monitor's
+        # invariant, checked here directly on the recorded stream.
+        assert (snap["sinr_value"][delivered] >= snap["sinr_beta"][delivered] * (1 - 1e-9)).all()
+
+    def test_class_stats_sizes_sum_to_active(self):
+        _, recorder = _recorded(lambda: _run_engine(_channel()))
+        snap = recorder.snapshot()
+        first_round = snap["class_round"] == 0
+        assert snap["class_size"][first_round].sum() == snap["rounds_active"][0]
+
+    def test_probes_do_not_change_engine_results(self):
+        bare = _run_engine(_channel())
+        probed, _ = _recorded(lambda: _run_engine(_channel()))
+        assert probed.rounds_executed == bare.rounds_executed
+        assert probed.solved_round == bare.solved_round
+
+
+class TestFastPathPublication:
+    def test_fast_path_records_and_matches_bare_run(self):
+        channel = _channel()
+        bare = fast_fixed_probability_run(
+            channel, 0.2, generator_from(11), max_rounds=MAX_ROUNDS
+        )
+        probed, recorder = _recorded(
+            lambda: fast_fixed_probability_run(
+                channel, 0.2, generator_from(11), max_rounds=MAX_ROUNDS
+            )
+        )
+        assert probed.rounds_executed == bare.rounds_executed
+        assert probed.rounds_to_solve == bare.rounds_to_solve
+        snap = recorder.snapshot()
+        assert snap["exec_rounds"][0] == probed.rounds_executed
+        assert snap["rounds_active"].tolist() == [
+            int(c) for c in probed.active_counts
+        ]
+
+
+class TestRecorderRoundTrip:
+    def test_npz_round_trip(self, tmp_path):
+        _, recorder = _recorded(lambda: _run_engine(_channel()))
+        path = recorder.write(tmp_path / PROBES_FILENAME)
+        loaded = load_probes(path)
+        snap = recorder.snapshot()
+        assert set(loaded) == set(snap)
+        for column in snap:
+            assert np.array_equal(loaded[column], snap[column]), column
+            assert loaded[column].dtype == snap[column].dtype, column
+
+    def test_load_rejects_wrong_version(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        np.savez_compressed(path, format_version=np.int64(999))
+        with pytest.raises(ValueError, match="version"):
+            load_probes(path)
+
+    def test_load_rejects_missing_columns(self, tmp_path):
+        path = tmp_path / "partial.npz"
+        np.savez_compressed(
+            path, format_version=np.int64(1), rounds_trial=np.zeros(1, np.int64)
+        )
+        with pytest.raises(ValueError, match="columns missing"):
+            load_probes(path)
+
+    def test_absorb_preserves_row_order(self):
+        first = ProbeRecorder()
+        second = ProbeRecorder()
+        bus = ProbeBus(enabled=True)
+        bus.subscribe(first)
+        bus.set_trial(0)
+        bus.begin_execution(n=4)
+        bus.emit_round(active_before=4, tx_count=2, knockouts=1, knocked_ids=(3,))
+        bus.end_execution(5, None)
+        bus.unsubscribe(first)
+        bus.subscribe(second)
+        bus.set_trial(1)
+        bus.begin_execution(n=4)
+        bus.emit_round(active_before=3, tx_count=1, knockouts=0)
+        bus.end_execution(2, 1)
+
+        merged = ProbeRecorder()
+        merged.absorb(first.snapshot())
+        merged.absorb(second.snapshot())
+        snap = merged.snapshot()
+        assert snap["rounds_trial"].tolist() == [0, 1]
+        assert snap["exec_trial"].tolist() == [0, 1]
+        assert snap["exec_solved"].tolist() == [-1, 1]
+        assert snap["deact_node"].tolist() == [3]
+
+    def test_empty_recorder_snapshot_types(self):
+        snap = ProbeRecorder().snapshot()
+        assert all(array.size == 0 for array in snap.values())
+        assert snap["sinr_value"].dtype == np.float64
+        assert snap["sinr_delivered"].dtype == np.bool_
+
+
+class TestLinkClassRoundStats:
+    def test_matches_partition_sizes(self):
+        from repro.analysis.linkclasses import link_class_partition
+        from repro.sinr.geometry import pairwise_distances
+
+        positions = uniform_disk(N, generator_from(5))
+        distances = pairwise_distances(positions)
+        mask = np.ones(N, dtype=bool)
+        stats = link_class_round_stats(distances, mask, knocked_ids=(0, 1))
+        partition = link_class_partition(distances, active=mask)
+        assert {index: size for index, size, _ in stats} == {
+            index: len(members) for index, members in partition.members.items()
+        }
+        knocked_total = sum(knocked for _, _, knocked in stats)
+        assert knocked_total == 2

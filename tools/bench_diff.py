@@ -9,7 +9,8 @@ Usage::
 Prints per-benchmark wall-time and rounds/sec deltas and exits non-zero
 when any benchmark present in both records regressed in wall time by more
 than ``--threshold`` (default 25%). Benchmarks present in only one record
-are reported but never fail the comparison — adding or retiring a
+are reported explicitly as ``added`` / ``removed`` (verdict column plus a
+summary line) but never fail the comparison — adding or retiring a
 benchmark is not a regression.
 
 The ``parallel_trials_w*`` scaling benchmarks are **report-only**: their
@@ -66,10 +67,18 @@ def compare_records(
         base_entry = base.get(name)
         cand_entry = cand.get(name)
         if base_entry is None:
-            rows.append([name, "-", _fmt_seconds(cand_entry["wall_time_s"]), "new", ""])
+            # Present only in the candidate: a newly added benchmark.
+            # Surfaced in the verdict column (and summarised by main())
+            # so new entries can't slip past review — but report-only,
+            # never a gate failure.
+            rows.append(
+                [name, "-", _fmt_seconds(cand_entry["wall_time_s"]), "", "", "added"]
+            )
             continue
         if cand_entry is None:
-            rows.append([name, _fmt_seconds(base_entry["wall_time_s"]), "-", "removed", ""])
+            rows.append(
+                [name, _fmt_seconds(base_entry["wall_time_s"]), "-", "", "", "removed"]
+            )
             continue
         base_time = float(base_entry["wall_time_s"])
         cand_time = float(cand_entry["wall_time_s"])
@@ -175,6 +184,16 @@ def main(argv=None) -> int:
     rows, regressions = compare_records(baseline, candidate, threshold=args.threshold)
     _print_table(rows)
     print()
+    added = [row[0] for row in rows if row[-1] == "added"]
+    removed = [row[0] for row in rows if row[-1] == "removed"]
+    if added:
+        print(
+            f"added benchmarks (report-only, never gated): {', '.join(added)}"
+        )
+    if removed:
+        print(
+            f"removed benchmarks (report-only, never gated): {', '.join(removed)}"
+        )
     _print_speedups("baseline", baseline)
     _print_speedups("candidate", candidate)
     if regressions:
