@@ -1,10 +1,12 @@
 """E17 — the ``log n`` law at scale (vectorised fast path).
 
-E1 establishes the growth law up to ``n = 512`` with the generic engine;
-this experiment pushes two further orders of binary magnitude using the
-vectorised fast path (``repro.sim.fast``), which is behaviourally
-equivalent for the paper's algorithm but collapses each round into numpy
-reductions.
+E1 establishes the growth law up to ``n = 512`` (on the fast path too,
+bit-identical to its original generic-engine runs); this experiment
+pushes two further orders of binary magnitude using the vectorised fast
+path (``repro.sim.fast``), which is behaviourally equivalent for the
+paper's algorithm but collapses each round into numpy reductions.
+Both sweeps honour the CLI's ``--workers`` sharding and ``--batch``
+batched trial execution (docs/parallelism.md).
 
 Statistical honesty note. Over ``log₂ n ∈ [6, 12]`` the laws
 ``a·log n + b`` (with ``b < 0``) and ``c·log² n + d`` produce numerically

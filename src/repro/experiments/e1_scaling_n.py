@@ -17,6 +17,16 @@ must fall below the geometric mean of ``log2(n_1)/log2(n_0)`` and
 ``(log2(n_1)/log2(n_0))^2`` — i.e. strictly closer to the log prediction.
 Both candidate laws are also least-squares fitted and reported as notes
 (the AIC comparison is too fragile at these sample sizes to gate on).
+
+Execution note: the sweep runs through ``run_fast_trials`` — for the
+paper's fixed-``p`` algorithm on a deterministic SINR channel the fast
+path consumes the identical coin-flip stream and computes the identical
+decode as ``FixedProbabilityProtocol`` through the generic engine, so
+every number here is **bit-identical** to the engine runs this
+experiment previously performed (pinned by
+``tests/test_fast_path.py::TestEngineExactParity``). The switch makes
+the sweep honour the CLI's ``--workers`` sharding and ``--batch``
+batched execution (docs/parallelism.md).
 """
 
 from __future__ import annotations
@@ -28,8 +38,8 @@ from typing import List
 from repro.analysis.fits import fit_models
 from repro.deploy.topologies import uniform_disk
 from repro.experiments.common import ExperimentResult
-from repro.protocols.simple import FixedProbabilityProtocol
-from repro.sim.runner import high_probability_budget, run_trials
+from repro.sim.parallel import run_fast_trials
+from repro.sim.runner import high_probability_budget
 from repro.sinr.channel import SINRChannel
 from repro.sinr.parameters import SINRParameters
 
@@ -67,7 +77,6 @@ class Config:
 def run(config: Config) -> ExperimentResult:
     """Execute the sweep and fit scaling laws."""
     params = SINRParameters(alpha=config.alpha)
-    protocol = FixedProbabilityProtocol(p=config.p)
     result = ExperimentResult(
         experiment_id="E1",
         title=TITLE,
@@ -77,11 +86,11 @@ def run(config: Config) -> ExperimentResult:
     means: List[float] = []
     p95s: List[float] = []
     for n in config.sizes:
-        stats = run_trials(
+        stats = run_fast_trials(
             channel_factory=lambda rng, n=n: SINRChannel(
                 uniform_disk(n, rng), params=params
             ),
-            protocol=protocol,
+            p=config.p,
             trials=config.trials,
             seed=(config.seed, n),
             max_rounds=high_probability_budget(n),

@@ -111,7 +111,12 @@ class RadioChannel:
         if listeners is None:
             listen_ids = [i for i in range(self.n) if i not in tx_set]
         else:
-            listen_ids = [int(i) for i in listeners if int(i) not in tx_set]
+            # Same index semantics as the SINR channel: negatives never
+            # wrap, out-of-range raises a clear IndexError.
+            requested = [int(i) for i in listeners]
+            if requested and (min(requested) < 0 or max(requested) >= self.n):
+                raise IndexError("listener index out of range")
+            listen_ids = [i for i in requested if i not in tx_set]
 
         received: Dict[int, int] = {}
         observations: Dict[int, ChannelObservation] = {}

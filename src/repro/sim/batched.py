@@ -1,0 +1,376 @@
+"""Batched trial execution for the vectorised fast path.
+
+:func:`repro.sim.fast.fast_fixed_probability_run` already collapses one
+execution of the paper's algorithm into numpy reductions, but a scaling
+campaign runs *many* independent trials — and running them one at a time
+leaves the hot loop dominated by many small ``(|T|, |L|)`` reductions.
+:func:`fast_fixed_probability_batch` runs ``B`` independent trials as one
+set of batched reductions per round:
+
+* an ``(n, B)`` transmit mask, filled from each trial's own coin flips;
+* arriving-power totals for every trial at once via a single
+  ``G[U].T @ tx_mask[U]`` matmul over the union ``U`` of the batch's
+  transmitters (one BLAS call instead of ``B`` row-sums; rows outside
+  ``U`` are exactly zero in the mask, so restricting the contraction
+  changes nothing);
+* per-trial strongest signal via columnwise subset maxima under a
+  scratch budget (a batch-wide masked-max intermediate was measured
+  5-14x *slower* — with disjoint transmitter sets its work grows
+  quadratically in the chunk width, so one column at a time is the
+  work-optimal order);
+* an ``(n, B)`` active-mask knockout update (one fancy assignment).
+
+Trials that solve (or run out of active nodes) drop out of the batch;
+the loop runs until the batch drains or the round budget is exhausted.
+
+Bit-exactness per trial — the headline guarantee
+------------------------------------------------
+
+Trial ``b`` of a batch returns the **bit-identical**
+:class:`~repro.sim.fast.FastRunResult` that
+``fast_fixed_probability_run(channel_b, p, default_rng(seeds[b]))``
+would, for any batch size. Two mechanisms make that engineered rather
+than empirical:
+
+1. **RNG isolation.** Each trial draws its coins from its own generator
+   (one ``rng.random(n_active)`` per round, exactly like the serial
+   path), so the entropy a trial consumes is independent of the batch
+   size and of every other trial. :func:`repro.sim.parallel.run_fast_trials`
+   feeds the kernel the same ``SeedSequence`` children the serial runner
+   uses, which is what makes ``batch=`` a pure performance knob there.
+2. **A near-tie guard on the decode.** BLAS sums the matmul in a
+   different order than the serial ``rows.sum(axis=0)``, so batched
+   totals can differ from serial totals at the last few ulps (measured
+   ~1e-15 relative; bounded by ~``n * eps`` from summation reordering).
+   That can only flip a decode when a listener sits within reordering
+   noise of the SINR threshold, so wherever
+   ``|best - thresh| <= 1e-9 * (|best| + |thresh|)`` — six orders of
+   magnitude above the reordering error, vanishingly rare for
+   continuous gains — the kernel recomputes that trial's round with the
+   *literal serial expressions* over its full listener set and uses
+   those decisions. Outside the band both formulations provably agree;
+   inside it the serial result is used by construction. (The per-trial
+   max needs no guard: ``max`` is order-invariant, so the masked
+   columnwise max is bitwise identical to the serial row-max.)
+
+Shared vs per-trial deployments
+-------------------------------
+
+Pass one :class:`~repro.sinr.channel.SINRChannel` to run every trial on
+a shared deployment (the ``G.T @ tx_mask`` matmul path — the common case
+for fixed-deployment studies), or a sequence of ``B`` equal-``n``
+channels for per-trial deployments (E17's resampled disks). With
+per-trial gain matrices there is no cross-trial reduction to fuse, so
+the kernel evaluates each decoding trial's round with the serial
+kernel's own subset expressions (bit-exact by identity) and batches the
+Python bookkeeping, the knockout update and the telemetry instead.
+
+Probes force the per-trial path
+-------------------------------
+
+The round-level flight recorder (:mod:`repro.obs.probe`) attributes
+probes to one trial at a time, which a batched round cannot do. When the
+global probe bus is enabled the kernel therefore falls back to looping
+:func:`~repro.sim.fast.fast_fixed_probability_run` per trial — still
+bit-exact, just not batched. ``run_fast_trials`` does the same one level
+up so probe rows keep their global trial indices. This is documented
+behaviour, pinned by tests: ``--probes`` and ``--batch`` compose, at the
+per-trial path's speed.
+
+Telemetry
+---------
+
+When the global metrics registry is enabled the kernel feeds the same
+``fast.*`` counters as ``B`` serial runs would — same names, same
+totals — so ``metrics.json`` from a batched session matches a serial
+session's (timing histograms aside, which no two runs share).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Union
+
+import numpy as np
+
+from repro.obs.probe import get_probe_bus
+from repro.obs.registry import get_registry
+from repro.sim.fast import FastRunResult, fast_fixed_probability_run
+from repro.sinr.channel import SINRChannel
+
+__all__ = ["DEFAULT_SCRATCH_BYTES", "fast_fixed_probability_batch"]
+
+#: Ceiling for the per-trial ``(|T|, slice)`` gather the strongest-signal
+#: max reads; budgets smaller than one trial's full ``(|T|, n)`` gather
+#: slice the listener axis instead of changing any result. 256 MiB keeps
+#: every size this repo sweeps (n <= 4096) far below the threshold.
+DEFAULT_SCRATCH_BYTES = 256 * 1024 * 1024
+
+#: Relative half-width of the near-tie band around the decode threshold
+#: inside which the kernel replays the serial expressions (see the
+#: module docstring). ~1e6x the worst measured matmul-reordering error.
+_TIE_RTOL = 1e-9
+
+#: One trial's generator: anything ``numpy.random.default_rng`` accepts
+#: (``SeedSequence`` children, ints) or an already-built ``Generator``,
+#: which is consumed as-is.
+TrialSeed = Union[np.random.Generator, np.random.SeedSequence, int]
+
+
+def _validate_channel(channel: SINRChannel) -> None:
+    """The fast path's restrictions, with its exact error messages."""
+    if not channel.gain_model.is_deterministic:
+        raise ValueError(
+            "the fast path supports the deterministic gain model only; "
+            "use the generic engine for fading channels"
+        )
+    if any(not s.is_continuous for s in channel.external_sources):
+        raise ValueError(
+            "the fast path supports continuous external sources only"
+        )
+
+
+def fast_fixed_probability_batch(
+    channel: Union[SINRChannel, Sequence[SINRChannel]],
+    p: float,
+    seeds: Sequence[TrialSeed],
+    max_rounds: int = 100_000,
+    scratch_bytes: int = DEFAULT_SCRATCH_BYTES,
+) -> List[FastRunResult]:
+    """Run ``len(seeds)`` independent trials as batched per-round reductions.
+
+    Parameters
+    ----------
+    channel:
+        One shared :class:`~repro.sinr.channel.SINRChannel`, or a
+        sequence of ``len(seeds)`` channels with equal node counts for
+        per-trial deployments. The fast path's restrictions apply to
+        every channel (deterministic gain model, continuous external
+        sources only).
+    p:
+        The broadcast probability, in ``(0, 1]``.
+    seeds:
+        One entry per trial — a ``Generator`` (consumed as-is) or
+        anything ``numpy.random.default_rng`` accepts. Trial ``b`` draws
+        its coins exclusively from ``seeds[b]``.
+    max_rounds:
+        Per-trial round budget, exactly as in the serial runner.
+    scratch_bytes:
+        Byte budget for the masked-max intermediate; smaller values
+        chunk the batch more finely without changing any result.
+
+    Returns
+    -------
+    list[FastRunResult]
+        ``results[b]`` is bit-identical to
+        ``fast_fixed_probability_run(channel_b, p, rng_b, max_rounds)``.
+    """
+    if not 0.0 < p <= 1.0:
+        raise ValueError(f"broadcast probability must be in (0, 1] (got {p})")
+    if max_rounds < 1:
+        raise ValueError(f"max_rounds must be positive (got {max_rounds})")
+    if scratch_bytes < 1:
+        raise ValueError(f"scratch_bytes must be positive (got {scratch_bytes})")
+
+    shared = isinstance(channel, SINRChannel)
+    channels: List[SINRChannel] = [channel] if shared else list(channel)
+    if not channels:
+        raise ValueError("a batch needs at least one channel")
+    for ch in channels:
+        _validate_channel(ch)
+    n = channels[0].n
+    if any(ch.n != n for ch in channels):
+        raise ValueError("all channels in a batch must have the same node count")
+
+    rngs = [
+        seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+        for seed in seeds
+    ]
+    batch = len(rngs)
+    if batch == 0:
+        return []
+    if not shared and len(channels) != batch:
+        raise ValueError(
+            f"per-trial channels require one channel per seed "
+            f"(got {len(channels)} channels for {batch} seeds)"
+        )
+
+    bus = get_probe_bus()
+    if bus.enabled:
+        # Probes are attributed per trial; a batched round cannot do
+        # that, so fall back to the (bit-identical) per-trial path. The
+        # caller owns trial attribution via bus.set_trial — exactly like
+        # a hand-written serial loop.
+        return [
+            fast_fixed_probability_run(
+                channels[0] if shared else channels[b], p, rngs[b], max_rounds
+            )
+            for b in range(batch)
+        ]
+
+    def channel_of(b: int) -> SINRChannel:
+        return channels[0] if shared else channels[b]
+
+    # Per-trial decode constants. The serial path reads these off the
+    # channel each run; hoisting them as arrays lets one broadcasted
+    # comparison decode every trial in a round.
+    beta = np.array([channel_of(b).params.beta for b in range(batch)])
+    noise = np.array([channel_of(b).params.noise for b in range(batch)])
+    externals: List[np.ndarray] = []
+    for b in range(batch if not shared else 1):
+        ch = channel_of(b)
+        if ch.external_sources:
+            externals.append(ch.external_gains.sum(axis=0))
+        else:
+            externals.append(np.zeros(n))
+    shared_gains = channels[0].base_gains if shared else None
+    shared_external = externals[0] if shared else None
+
+    obs = get_registry()
+    recording = obs.enabled
+    if recording:
+        obs.counter("fast.executions").inc(batch)
+        c_rounds = obs.counter("fast.rounds")
+        c_ko = obs.counter("fast.knockouts")
+
+    active = np.ones((n, batch), dtype=bool)
+    solved_round: List[int] = [None] * batch  # type: ignore[list-item]
+    rounds_executed = [max_rounds] * batch
+    active_counts: List[List[int]] = [[] for _ in range(batch)]
+    live = list(range(batch))
+
+    for round_index in range(max_rounds):
+        if not live:
+            break
+        # Phase 1 — per-trial Python bookkeeping (irreducibly O(live):
+        # each trial owns its generator): coin flips, solo detection,
+        # drop-out, and the transmit mask for the decode phase.
+        executed = 0
+        next_live: List[int] = []
+        decode: List[tuple] = []  # (trial, tx) for trials needing a decode
+        for b in live:
+            ids = np.flatnonzero(active[:, b])
+            if ids.size == 0:
+                rounds_executed[b] = round_index
+                continue
+            executed += 1
+            active_counts[b].append(int(ids.size))
+            coins = rngs[b].random(ids.size) < p
+            tx = ids[coins]
+            if tx.size == 1:
+                solved_round[b] = round_index
+                rounds_executed[b] = round_index + 1
+                if recording:
+                    obs.counter("fast.solved_executions").inc()
+                continue
+            next_live.append(b)
+            if tx.size >= 2 and ids.size > tx.size:
+                decode.append((b, tx))
+        live = next_live
+        if recording and executed:
+            c_rounds.inc(executed)
+        if not decode:
+            continue
+
+        # Phase 2 — batched decode for every trial with >= 2 transmitters
+        # and >= 1 listener.
+        width = len(decode)
+        cols_trials = np.fromiter((b for b, _ in decode), dtype=np.intp, count=width)
+        tx_mask = np.zeros((n, width), dtype=bool)
+        for j, (_, tx) in enumerate(decode):
+            tx_mask[tx, j] = True
+
+        if shared:
+            # One dgemm computes every decoding trial's arriving-power
+            # totals: totals[l, j] = sum_t G[t, l] * tx_mask[t, j].
+            # Restricting the contraction to the union of the batch's
+            # transmitters only skips rows that are exactly zero in the
+            # mask, so the product is unchanged (and shrinks as trials
+            # drain from the batch).
+            tx_union = np.flatnonzero(tx_mask.any(axis=1))
+            totals = shared_gains[tx_union].T @ tx_mask[tx_union].astype(np.float64)
+            totals += shared_external[:, None]
+            # Strongest signal per trial: a columnwise max over each
+            # trial's transmitter rows. ``max`` is order-invariant, so
+            # any evaluation order is bitwise identical to the serial
+            # row-max; the work-optimal order is one column at a time —
+            # a C-wide masked intermediate over the union of transmitters
+            # costs ~C^2 x more when the transmitter sets are disjoint
+            # (measured 5-14x slower at C in [8, 64] on one core).
+            # ``scratch_bytes`` bounds the (|T|, slice) gather by slicing
+            # the listener axis when a trial's full gather would exceed
+            # the budget.
+            best = np.empty((n, width))
+            for j, (_, tx) in enumerate(decode):
+                step = max(1, int(scratch_bytes // max(1, tx.size * 8)))
+                if step >= n:
+                    best[:, j] = shared_gains[tx].max(axis=0)
+                    continue
+                for start in range(0, n, step):
+                    stop = min(start + step, n)
+                    best[start:stop, j] = shared_gains[tx, start:stop].max(axis=0)
+
+            listen = active[:, cols_trials] & ~tx_mask
+            interference = totals - best
+            thresh = beta[cols_trials][None, :] * (
+                noise[cols_trials][None, :] + interference
+            )
+            knock = (best >= thresh) & listen
+
+            # Near-tie guard: wherever a listener's decode margin is
+            # within the band, replay that trial's round with the literal
+            # serial expressions (listener-subset rows, row-subset sum)
+            # and use those decisions — identical-by-identity with the
+            # serial path.
+            near = (
+                np.abs(best - thresh) <= _TIE_RTOL * (np.abs(best) + np.abs(thresh))
+            ) & listen
+            for j in np.flatnonzero(near.any(axis=0)):
+                b, tx = decode[j]
+                listeners = np.flatnonzero(listen[:, j])
+                rows = shared_gains[tx][:, listeners]
+                serial_totals = rows.sum(axis=0) + shared_external[listeners]
+                serial_best = rows.max(axis=0)
+                serial_interference = serial_totals - serial_best
+                params = channel_of(b).params
+                decoded = serial_best >= params.beta * (
+                    params.noise + serial_interference
+                )
+                knock[:, j] = False
+                knock[listeners[decoded], j] = True
+        else:
+            # Per-trial deployments: there is no cross-trial reduction to
+            # fuse (every trial owns a different gain matrix), and a full
+            # (n, n) matvec would do far more work than the serial
+            # kernel's shrinking (|T|, |L|) subset. Evaluate the literal
+            # serial expressions per trial — bit-exact by identity, no
+            # tie guard needed — and batch only the bookkeeping, the
+            # knockout scatter and the telemetry.
+            knock = np.zeros((n, width), dtype=bool)
+            for j, (b, tx) in enumerate(decode):
+                gains_b = channels[b].base_gains
+                listeners = np.flatnonzero(active[:, b] & ~tx_mask[:, j])
+                rows = gains_b[tx][:, listeners]
+                serial_totals = rows.sum(axis=0) + externals[b][listeners]
+                serial_best = rows.max(axis=0)
+                serial_interference = serial_totals - serial_best
+                params = channels[b].params
+                decoded = serial_best >= params.beta * (
+                    params.noise + serial_interference
+                )
+                knock[listeners[decoded], j] = True
+
+        ko_rows, ko_cols = np.nonzero(knock)
+        if ko_rows.size:
+            active[ko_rows, cols_trials[ko_cols]] = False
+            if recording:
+                c_ko.inc(int(ko_rows.size))
+
+    return [
+        FastRunResult(
+            n=n,
+            solved_round=solved_round[b],
+            rounds_executed=rounds_executed[b],
+            active_counts=active_counts[b],
+        )
+        for b in range(batch)
+    ]

@@ -103,7 +103,7 @@ def fast_fixed_probability_run(
     params = channel.params
     n = channel.n
     if channel.external_sources:
-        static_external = channel._external_gains.sum(axis=0)
+        static_external = channel.external_gains.sum(axis=0)
     else:
         static_external = np.zeros(n)
 

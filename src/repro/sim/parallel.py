@@ -85,6 +85,7 @@ from repro.obs.events import QueueEventSink, get_sink, set_sink
 from repro.obs.probe import ProbeBus, ProbeRecorder, get_probe_bus, set_probe_bus
 from repro.obs.registry import MetricsRegistry, get_registry, set_registry
 from repro.protocols.base import ProtocolFactory
+from repro.sim.batched import fast_fixed_probability_batch
 from repro.sim.fast import fast_fixed_probability_run
 from repro.sim.runner import ChannelFactory, TrialStats, execute_trial
 from repro.sim.seeding import SeedLike, spawn_seed_sequences
@@ -96,6 +97,9 @@ __all__ = [
     "default_workers",
     "get_default_workers",
     "set_default_workers",
+    "default_batch",
+    "get_default_batch",
+    "set_default_batch",
     "partition_trials",
     "run_trials_parallel",
     "run_fast_trials",
@@ -151,6 +155,45 @@ def default_workers(workers: int):
         yield
     finally:
         set_default_workers(previous)
+
+
+# ---------------------------------------------------------------------------
+# Batch-size default (the `--batch` CLI plumbing)
+
+_default_batch_size = 1
+
+
+def get_default_batch() -> int:
+    """The process-wide batch size ``run_fast_trials`` falls back to."""
+    return _default_batch_size
+
+
+def set_default_batch(batch: int) -> int:
+    """Install a new default batch size; returns the previous one."""
+    global _default_batch_size
+    if batch < 1:
+        raise ValueError(f"batch must be positive (got {batch})")
+    previous = _default_batch_size
+    _default_batch_size = batch
+    return previous
+
+
+@contextlib.contextmanager
+def default_batch(batch: int):
+    """Scope a default batch size to a ``with`` block.
+
+    ``python -m repro.experiments <id> --batch B`` wraps the experiment
+    run in this context, so every ``run_fast_trials`` call inside — none
+    of which knows about batch sizes — executes its trials through the
+    batched kernel (:mod:`repro.sim.batched`). Like ``default_workers``
+    this is a pure performance knob: per-trial bit-exactness makes the
+    batch size invisible in every result.
+    """
+    previous = set_default_batch(batch)
+    try:
+        yield
+    finally:
+        set_default_batch(previous)
 
 
 # ---------------------------------------------------------------------------
@@ -247,6 +290,54 @@ class _ShardSpec:
     )
     protocol: Optional[ProtocolFactory] = None  # engine mode
     p: float = 0.0  # fast mode
+    #: Batched-kernel group size for fast mode (1 = per-trial execution).
+    batch: int = 1
+
+
+def _iter_fast_groups(
+    channel_factory: ChannelFactory,
+    p: float,
+    entries: List[Tuple[int, np.random.SeedSequence, np.random.SeedSequence]],
+    max_rounds: int,
+    batch: int,
+    shared_channel,
+):
+    """Run fast-path entries through the batched kernel, group by group.
+
+    Yields ``(group, outcomes, elapsed)`` where ``group`` is the slice of
+    ``entries`` executed together and ``outcomes[i]`` is the
+    :class:`~repro.sim.fast.FastRunResult` for ``group[i]`` — bit-exact
+    per trial regardless of the grouping (the batched kernel's headline
+    guarantee), so both the serial runner and the shard workers share
+    this code path and ``workers=K, batch=B`` composes with serial.
+
+    Only a deterministic factory's trials are actually grouped (``batch``
+    at a time on the shared channel). A stochastic factory resamples the
+    deployment per trial, which leaves the batched kernel nothing to
+    fuse — every trial owns a different gain matrix — while holding a
+    group of ``(n, n)`` matrices alive measurably slows deployment
+    construction; those trials therefore run one at a time. Either way
+    the kernel's per-trial bit-exactness makes the grouping invisible in
+    the results.
+    """
+    group_size = batch if shared_channel is not None else 1
+    index = 0
+    while index < len(entries):
+        group = entries[index : index + group_size]
+        if shared_channel is not None:
+            channels_arg = shared_channel
+        else:
+            channels_arg = [
+                channel_factory(np.random.default_rng(deploy_seed))
+                for _, deploy_seed, _ in group
+            ]
+        rngs = [np.random.default_rng(protocol_seed) for _, _, protocol_seed in group]
+        started = time.perf_counter()
+        outcomes = fast_fixed_probability_batch(
+            channels_arg, p, rngs, max_rounds=max_rounds
+        )
+        yield group, outcomes, time.perf_counter() - started
+        index += len(group)
 
 
 def _shard_worker(spec: _ShardSpec, results) -> None:
@@ -284,6 +375,45 @@ def _shard_worker(spec: _ShardSpec, results) -> None:
         shared_channel = None
         if getattr(spec.channel_factory, DETERMINISTIC_ATTR, False):
             shared_channel = spec.channel_factory(None)
+
+        if (
+            spec.mode == "fast"
+            and spec.batch > 1
+            and len(spec.entries) > 1
+            and not spec.probing
+        ):
+            # Batch within the shard: same seed children, same outcomes
+            # (the kernel is bit-exact per trial), so workers x batch
+            # composes with serial. Probing shards stay on the per-trial
+            # loop below so probe rows keep their global trial indices.
+            for group, outcomes, elapsed in _iter_fast_groups(
+                spec.channel_factory,
+                spec.p,
+                spec.entries,
+                spec.max_rounds,
+                spec.batch,
+                shared_channel,
+            ):
+                per_trial = elapsed / len(group)
+                for (trial_index, _, _), outcome in zip(group, outcomes):
+                    results.put(
+                        (
+                            "trial",
+                            spec.worker_id,
+                            {
+                                "trial": trial_index,
+                                "solved": outcome.solved,
+                                "rounds_to_solve": outcome.rounds_to_solve,
+                                "rounds_executed": outcome.rounds_executed,
+                                "elapsed": per_trial,
+                                "trace": None,
+                            },
+                        )
+                    )
+            if spec.recording:
+                results.put(("metrics", spec.worker_id, registry.snapshot()))
+            results.put(("done", spec.worker_id))
+            return
 
         for trial_index, deploy_seed, protocol_seed in spec.entries:
             deploy_rng = np.random.default_rng(deploy_seed)
@@ -350,6 +480,7 @@ def _execute_sharded(
     protocol: Optional[ProtocolFactory],
     p: float,
     protocol_name: str,
+    batch: int = 1,
 ) -> TrialStats:
     """Shared parent-side machinery for both execution modes."""
     obs = get_registry()
@@ -377,6 +508,7 @@ def _execute_sharded(
             ],
             protocol=protocol,
             p=p,
+            batch=batch,
         )
         for worker_id, shard in enumerate(shards)
     ]
@@ -566,6 +698,7 @@ def run_fast_trials(
     max_rounds: int = 100_000,
     workers: Optional[int] = None,
     start_method: Optional[str] = None,
+    batch: Optional[int] = None,
 ) -> TrialStats:
     """Repeat :func:`~repro.sim.fast.fast_fixed_probability_run` over trials.
 
@@ -574,12 +707,27 @@ def run_fast_trials(
     for deployment and coin flips), the same ``runner.*`` telemetry and
     heartbeats, the same :class:`~repro.sim.runner.TrialStats` — but each
     trial is one vectorised execution of the paper's algorithm instead of
-    a generic-engine run. Large-``n`` scaling studies (E17, the parallel
-    benchmarks) live here.
+    a generic-engine run. Large-``n`` scaling studies (E1/E17, the
+    parallel benchmarks) live here.
 
     ``workers > 1`` shards trials exactly like ``run_trials_parallel``;
     with a :data:`deterministic <DETERMINISTIC_ATTR>` factory the channel
     (and its gain matrix) is built once per shard and shared read-only.
+
+    ``batch > 1`` executes consecutive trials through the batched kernel
+    (:func:`repro.sim.batched.fast_fixed_probability_batch`) — inside
+    each shard when combined with ``workers``. Trials keep their own
+    generators from the same seed tree and the kernel is bit-exact per
+    trial, so like ``workers`` this is a pure performance knob:
+    ``workers=K, batch=B`` equals serial for every ``K`` and ``B``
+    (pinned by tests). Grouping applies to deterministic factories (the
+    shared-deployment reductions are what the kernel fuses); stochastic
+    factories resample the deployment per trial and run one at a time
+    regardless of ``batch`` — see docs/parallelism.md for the measured
+    trade-offs. When the probe bus is enabled, trials run the per-trial
+    path regardless of ``batch`` so probe rows keep their trial
+    attribution. ``None`` falls back to :func:`get_default_batch` (the
+    CLI's ``--batch``).
     """
     if not 0.0 < p <= 1.0:
         raise ValueError(f"broadcast probability must be in (0, 1] (got {p})")
@@ -589,6 +737,10 @@ def run_fast_trials(
         workers = get_default_workers()
     if workers < 1:
         raise ValueError(f"workers must be positive (got {workers})")
+    if batch is None:
+        batch = get_default_batch()
+    if batch < 1:
+        raise ValueError(f"batch must be positive (got {batch})")
     name = f"fast-simple(p={p:g})"
     if workers > 1 and trials > 1:
         return _execute_sharded(
@@ -603,6 +755,7 @@ def run_fast_trials(
             None,
             p,
             name,
+            batch=batch,
         )
 
     obs = get_registry()
@@ -620,15 +773,9 @@ def run_fast_trials(
     failures = 0
     total_rounds_executed = 0
     batch_started = time.perf_counter()
-    for trial in range(trials):
-        deploy_rng = np.random.default_rng(sequences[2 * trial])
-        run_rng = np.random.default_rng(sequences[2 * trial + 1])
-        if probing:
-            probe_bus.set_trial(trial)
-        trial_started = time.perf_counter()
-        channel = shared_channel if shared_channel is not None else channel_factory(deploy_rng)
-        outcome = fast_fixed_probability_run(channel, p, run_rng, max_rounds=max_rounds)
-        trial_elapsed = time.perf_counter() - trial_started
+
+    def record_outcome(trial: int, outcome, trial_elapsed: float) -> None:
+        nonlocal total_rounds_executed, failures, last_heartbeat
         total_rounds_executed += outcome.rounds_executed
         if outcome.solved:
             rounds.append(outcome.rounds_to_solve)
@@ -650,6 +797,37 @@ def run_fast_trials(
                     failures=failures,
                     elapsed_s=now - batch_started,
                 )
+
+    if batch > 1 and trials > 1 and not probing:
+        entries = [
+            (trial, sequences[2 * trial], sequences[2 * trial + 1])
+            for trial in range(trials)
+        ]
+        for group, outcomes, elapsed in _iter_fast_groups(
+            channel_factory, p, entries, max_rounds, batch, shared_channel
+        ):
+            per_trial = elapsed / len(group)
+            for (trial, _, _), outcome in zip(group, outcomes):
+                record_outcome(trial, outcome, per_trial)
+        return TrialStats(
+            protocol_name=name,
+            trials=trials,
+            rounds=rounds,
+            failures=failures,
+            traces=None,
+            total_wall_time=time.perf_counter() - batch_started,
+            total_rounds_executed=total_rounds_executed,
+        )
+
+    for trial in range(trials):
+        deploy_rng = np.random.default_rng(sequences[2 * trial])
+        run_rng = np.random.default_rng(sequences[2 * trial + 1])
+        if probing:
+            probe_bus.set_trial(trial)
+        trial_started = time.perf_counter()
+        channel = shared_channel if shared_channel is not None else channel_factory(deploy_rng)
+        outcome = fast_fixed_probability_run(channel, p, run_rng, max_rounds=max_rounds)
+        record_outcome(trial, outcome, time.perf_counter() - trial_started)
 
     return TrialStats(
         protocol_name=name,

@@ -50,9 +50,12 @@ class ReceptionReport:
         node cannot transmit and listen in the same round (Section 2).
     energy:
         Mapping ``listener -> total arriving signal power`` (the sum over
-        all transmitters; noise excluded). This is what a carrier-sensing
-        radio measures; protocols that do not sense energy simply ignore
-        it. Empty when nobody transmitted.
+        all transmitters and any external sources on the air; noise
+        excluded). This is what a carrier-sensing radio measures;
+        protocols that do not sense energy simply ignore it. Empty only
+        when nobody transmitted *and* no external source was on the air —
+        on transmitter-free rounds listeners still sense active jammers
+        (:mod:`repro.sinr.jamming`).
     """
 
     transmitters: tuple
@@ -137,6 +140,18 @@ class SINRChannel:
         view.flags.writeable = False
         return view
 
+    @property
+    def external_gains(self) -> np.ndarray:
+        """Per-source external gain rows, ``(num_sources, n)`` (read-only view).
+
+        Row ``s`` is the power source ``s`` lands on each node when on
+        the air; the fast paths fold continuous sources into a static
+        interference vector by summing these rows.
+        """
+        view = self._external_gains.view()
+        view.flags.writeable = False
+        return view
+
     def resolve(
         self,
         transmitters: Sequence[int],
@@ -191,8 +206,15 @@ class SINRChannel:
         if listeners is None:
             listen_mask = np.ones(self.n, dtype=bool)
         else:
+            # Validated exactly like transmitters: without the check a
+            # negative index silently wraps (listener -1 -> node n-1) and
+            # an out-of-range positive surfaces as a raw numpy error from
+            # the mask assignment.
+            listen_ids = np.asarray(list(listeners), dtype=np.intp)
+            if listen_ids.size and (listen_ids.min() < 0 or listen_ids.max() >= self.n):
+                raise IndexError("listener index out of range")
             listen_mask = np.zeros(self.n, dtype=bool)
-            listen_mask[np.asarray(list(listeners), dtype=np.intp)] = True
+            listen_mask[listen_ids] = True
         listen_mask[tx] = False
 
         if not listen_mask.any():

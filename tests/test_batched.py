@@ -1,0 +1,360 @@
+"""Batched fast-path kernel: per-trial bit-exactness and composition.
+
+The load-bearing tests are the bit-exactness ones: for the same seed
+tree, ``fast_fixed_probability_batch`` must return **bit-identical**
+per-trial results to looping ``fast_fixed_probability_run`` — for any
+batch size, any scratch budget (chunking), shared or per-trial
+deployments, and through ``run_fast_trials(batch=...)`` composed with
+process sharding (``workers=K, batch=B`` == serial). Everything else —
+telemetry parity, probe fallback, validation — supports that guarantee.
+"""
+
+import numpy as np
+import pytest
+
+from repro.deploy.topologies import uniform_disk
+from repro.obs.probe import ProbeBus, ProbeRecorder, set_probe_bus
+from repro.obs.registry import MetricsRegistry, set_registry
+from repro.sim.batched import fast_fixed_probability_batch
+from repro.sim.fast import fast_fixed_probability_run
+from repro.sim.parallel import (
+    StaticDeploymentFactory,
+    UniformDiskFactory,
+    default_batch,
+    get_default_batch,
+    run_fast_trials,
+    set_default_batch,
+)
+from repro.sim.seeding import generator_from
+from repro.sinr.channel import SINRChannel
+from repro.sinr.fading import RayleighFading
+from repro.sinr.jamming import ExternalSource
+
+N = 32
+TRIALS = 8
+SEED = 424242
+MAX_ROUNDS = 4_000
+
+
+@pytest.fixture
+def shared_channel():
+    return SINRChannel(uniform_disk(N, generator_from(9)))
+
+
+def _serial_results(channels, p, seed, count, max_rounds=MAX_ROUNDS):
+    """The ground truth: loop the serial kernel over the same seed tree."""
+    children = np.random.SeedSequence(seed).spawn(count)
+    results = []
+    for b in range(count):
+        channel = channels if isinstance(channels, SINRChannel) else channels[b]
+        results.append(
+            fast_fixed_probability_run(
+                channel, p, np.random.default_rng(children[b]), max_rounds
+            )
+        )
+    return results
+
+
+def _batched_results(channels, p, seed, count, max_rounds=MAX_ROUNDS, **kwargs):
+    children = np.random.SeedSequence(seed).spawn(count)
+    return fast_fixed_probability_batch(
+        channels, p, children, max_rounds=max_rounds, **kwargs
+    )
+
+
+def _assert_identical(batched, serial):
+    assert len(batched) == len(serial)
+    for got, want in zip(batched, serial):
+        assert got.n == want.n
+        assert got.solved_round == want.solved_round
+        assert got.rounds_executed == want.rounds_executed
+        assert got.active_counts == want.active_counts
+
+
+class TestKernelBitExactness:
+    @pytest.mark.parametrize("batch", [1, 8, 64])
+    def test_shared_channel_matches_serial(self, shared_channel, batch):
+        serial = _serial_results(shared_channel, 0.1, SEED, batch)
+        batched = _batched_results(shared_channel, 0.1, SEED, batch)
+        _assert_identical(batched, serial)
+
+    def test_chunked_scratch_matches_serial(self, shared_channel):
+        # scratch_bytes=1 forces single-column chunks through the masked
+        # max — chunking must not change a single bit.
+        serial = _serial_results(shared_channel, 0.1, SEED, 16)
+        batched = _batched_results(
+            shared_channel, 0.1, SEED, 16, scratch_bytes=1
+        )
+        _assert_identical(batched, serial)
+
+    def test_per_trial_channels_match_serial(self):
+        channels = [
+            SINRChannel(uniform_disk(N, generator_from((SEED, b))))
+            for b in range(6)
+        ]
+        serial = _serial_results(channels, 0.1, SEED, 6)
+        batched = _batched_results(channels, 0.1, SEED, 6)
+        _assert_identical(batched, serial)
+
+    def test_continuous_jammer_matches_serial(self):
+        jammer = ExternalSource((0.5, 50.0), power=10.0, duty_cycle=1.0)
+        channel = SINRChannel(
+            uniform_disk(12, generator_from(3)), external_sources=[jammer]
+        )
+        serial = _serial_results(channel, 0.2, SEED, 8)
+        batched = _batched_results(channel, 0.2, SEED, 8)
+        _assert_identical(batched, serial)
+
+    def test_budget_exhaustion_matches_serial(self):
+        # p = 1 on two nodes never produces a solo round: every trial
+        # must report the full budget, exactly like the serial kernel.
+        channel = SINRChannel([(0.0, 0.0), (1.0, 0.0)])
+        serial = _serial_results(channel, 1.0, SEED, 4, max_rounds=20)
+        batched = _batched_results(channel, 1.0, SEED, 4, max_rounds=20)
+        _assert_identical(batched, serial)
+        assert all(not r.solved for r in batched)
+        assert all(r.rounds_executed == 20 for r in batched)
+
+    def test_accepts_generators_directly(self, shared_channel):
+        serial = _serial_results(shared_channel, 0.1, SEED, 3)
+        children = np.random.SeedSequence(SEED).spawn(3)
+        rngs = [np.random.default_rng(child) for child in children]
+        batched = fast_fixed_probability_batch(
+            shared_channel, 0.1, rngs, max_rounds=MAX_ROUNDS
+        )
+        _assert_identical(batched, serial)
+
+
+class TestValidation:
+    def test_rejects_bad_probability(self, shared_channel):
+        with pytest.raises(ValueError, match="probability"):
+            fast_fixed_probability_batch(shared_channel, 0.0, [1, 2])
+
+    def test_rejects_bad_max_rounds(self, shared_channel):
+        with pytest.raises(ValueError, match="max_rounds"):
+            fast_fixed_probability_batch(shared_channel, 0.1, [1], max_rounds=0)
+
+    def test_rejects_bad_scratch(self, shared_channel):
+        with pytest.raises(ValueError, match="scratch_bytes"):
+            fast_fixed_probability_batch(shared_channel, 0.1, [1], scratch_bytes=0)
+
+    def test_rejects_fading_channel(self, rng):
+        channel = SINRChannel(uniform_disk(8, rng), gain_model=RayleighFading())
+        with pytest.raises(ValueError, match="deterministic"):
+            fast_fixed_probability_batch(channel, 0.1, [1, 2])
+
+    def test_rejects_intermittent_jammer(self):
+        jammer = ExternalSource((0.5, 50.0), power=10.0, duty_cycle=0.5)
+        channel = SINRChannel([(0.0, 0.0), (1.0, 0.0)], external_sources=[jammer])
+        with pytest.raises(ValueError, match="continuous"):
+            fast_fixed_probability_batch(channel, 0.1, [1, 2])
+
+    def test_rejects_channel_seed_length_mismatch(self):
+        channels = [SINRChannel(uniform_disk(8, generator_from(i))) for i in (0, 1)]
+        with pytest.raises(ValueError, match="one channel per seed"):
+            fast_fixed_probability_batch(channels, 0.1, [1, 2, 3])
+
+    def test_rejects_mismatched_node_counts(self):
+        channels = [
+            SINRChannel(uniform_disk(8, generator_from(0))),
+            SINRChannel(uniform_disk(9, generator_from(1))),
+        ]
+        with pytest.raises(ValueError, match="same node count"):
+            fast_fixed_probability_batch(channels, 0.1, [1, 2])
+
+    def test_rejects_empty_channel_sequence(self):
+        with pytest.raises(ValueError, match="at least one channel"):
+            fast_fixed_probability_batch([], 0.1, [])
+
+    def test_empty_seeds_is_empty_batch(self, shared_channel):
+        assert fast_fixed_probability_batch(shared_channel, 0.1, []) == []
+
+
+class TestRunnerParity:
+    """run_fast_trials(batch=B) == serial, alone and composed with workers."""
+
+    FACTORIES = {
+        "deterministic": StaticDeploymentFactory(uniform_disk(N, generator_from(9))),
+        "stochastic": UniformDiskFactory(N),
+    }
+
+    @pytest.mark.parametrize("batch", [1, 3, 64])
+    @pytest.mark.parametrize("kind", sorted(FACTORIES))
+    def test_batched_matches_serial(self, kind, batch):
+        factory = self.FACTORIES[kind]
+        serial = run_fast_trials(
+            factory, 0.1, trials=TRIALS, seed=SEED, max_rounds=MAX_ROUNDS
+        )
+        batched = run_fast_trials(
+            factory,
+            0.1,
+            trials=TRIALS,
+            seed=SEED,
+            max_rounds=MAX_ROUNDS,
+            batch=batch,
+        )
+        assert batched.rounds == serial.rounds
+        assert batched.failures == serial.failures
+        assert batched.total_rounds_executed == serial.total_rounds_executed
+        assert batched.trials == serial.trials
+
+    @pytest.mark.parametrize("kind", sorted(FACTORIES))
+    def test_workers_and_batch_compose(self, kind):
+        # The acceptance criterion: workers=2, batch=8 == serial.
+        factory = self.FACTORIES[kind]
+        serial = run_fast_trials(
+            factory, 0.1, trials=TRIALS, seed=SEED, max_rounds=MAX_ROUNDS
+        )
+        sharded = run_fast_trials(
+            factory,
+            0.1,
+            trials=TRIALS,
+            seed=SEED,
+            max_rounds=MAX_ROUNDS,
+            workers=2,
+            batch=8,
+        )
+        assert sharded.rounds == serial.rounds
+        assert sharded.failures == serial.failures
+        assert sharded.total_rounds_executed == serial.total_rounds_executed
+
+    def test_batch_validation(self):
+        with pytest.raises(ValueError, match="batch"):
+            run_fast_trials(
+                self.FACTORIES["deterministic"], 0.1, trials=2, batch=0
+            )
+
+
+class TestTelemetryParity:
+    def _run(self, batch):
+        registry = MetricsRegistry(enabled=True)
+        previous = set_registry(registry)
+        try:
+            stats = run_fast_trials(
+                UniformDiskFactory(N),
+                0.1,
+                trials=TRIALS,
+                seed=SEED,
+                max_rounds=MAX_ROUNDS,
+                batch=batch,
+            )
+        finally:
+            set_registry(previous)
+        return stats, registry.snapshot()
+
+    def test_counters_match_serial(self):
+        serial_stats, serial_metrics = self._run(1)
+        batched_stats, batched_metrics = self._run(4)
+        assert batched_stats.rounds == serial_stats.rounds
+
+        def strip_timing(snapshot):
+            return {
+                name: entry
+                for name, entry in snapshot.items()
+                if not name.endswith("_seconds")
+            }
+
+        # Same counters, same totals, same creation order — metrics.json
+        # from a batched session matches a serial session's byte for byte
+        # once timing histograms are set aside.
+        assert strip_timing(batched_metrics) == strip_timing(serial_metrics)
+        assert list(strip_timing(batched_metrics)) == list(strip_timing(serial_metrics))
+        assert (
+            batched_metrics["runner.trial_seconds"]["count"]
+            == serial_metrics["runner.trial_seconds"]["count"]
+        )
+        assert batched_metrics["fast.executions"]["value"] == TRIALS
+
+
+class TestProbeFallback:
+    """Probes force the (bit-identical) per-trial path — documented."""
+
+    def _probe_run(self, batch):
+        bus = ProbeBus(enabled=True)
+        recorder = ProbeRecorder()
+        bus.subscribe(recorder)
+        previous = set_probe_bus(bus)
+        try:
+            stats = run_fast_trials(
+                StaticDeploymentFactory(uniform_disk(N, generator_from(9))),
+                0.1,
+                trials=6,
+                seed=SEED,
+                max_rounds=MAX_ROUNDS,
+                batch=batch,
+            )
+        finally:
+            set_probe_bus(previous)
+        return stats, recorder.snapshot()
+
+    def test_probe_artifacts_match_serial(self):
+        serial_stats, serial_snap = self._probe_run(1)
+        batched_stats, batched_snap = self._probe_run(4)
+        assert batched_stats.rounds == serial_stats.rounds
+        assert serial_snap["exec_trial"].size == 6
+        assert set(batched_snap) == set(serial_snap)
+        for column in serial_snap:
+            assert np.array_equal(batched_snap[column], serial_snap[column]), column
+
+    def test_kernel_falls_back_when_bus_enabled(self, shared_channel):
+        bus = ProbeBus(enabled=True)
+        recorder = ProbeRecorder()
+        bus.subscribe(recorder)
+        previous = set_probe_bus(bus)
+        try:
+            serial = _serial_results(shared_channel, 0.1, SEED, 3)
+            batched = _batched_results(shared_channel, 0.1, SEED, 3)
+        finally:
+            set_probe_bus(previous)
+        _assert_identical(batched, serial)
+
+
+class TestDefaultBatch:
+    def test_default_is_unbatched(self):
+        assert get_default_batch() == 1
+
+    def test_context_scopes_and_restores(self):
+        with default_batch(8):
+            assert get_default_batch() == 8
+            with default_batch(2):
+                assert get_default_batch() == 2
+            assert get_default_batch() == 8
+        assert get_default_batch() == 1
+
+    def test_restores_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with default_batch(4):
+                raise RuntimeError("x")
+        assert get_default_batch() == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            set_default_batch(0)
+
+    def _group_sizes(self, monkeypatch, factory, trials):
+        import repro.sim.parallel as parallel_module
+
+        groups = []
+        real = parallel_module.fast_fixed_probability_batch
+
+        def recording(channels, p, seeds, **kwargs):
+            groups.append(len(seeds))
+            return real(channels, p, seeds, **kwargs)
+
+        monkeypatch.setattr(
+            parallel_module, "fast_fixed_probability_batch", recording
+        )
+        with default_batch(3):
+            run_fast_trials(
+                factory, 0.1, trials=trials, seed=SEED, max_rounds=MAX_ROUNDS
+            )
+        return groups
+
+    def test_run_fast_trials_consults_default(self, monkeypatch):
+        factory = StaticDeploymentFactory(uniform_disk(N, generator_from(9)))
+        assert self._group_sizes(monkeypatch, factory, 7) == [3, 3, 1]
+
+    def test_stochastic_factory_runs_per_trial(self, monkeypatch):
+        # A stochastic factory leaves the kernel nothing to fuse (every
+        # trial owns its own gain matrix), so grouping is skipped.
+        assert self._group_sizes(monkeypatch, UniformDiskFactory(N), 4) == [1] * 4

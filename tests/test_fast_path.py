@@ -74,6 +74,45 @@ class TestBehaviour:
         assert a.active_counts == b.active_counts
 
 
+class TestEngineExactParity:
+    """E1's fast-path conversion contract: bit-identical, not just equal in
+    distribution.
+
+    For the paper's fixed-``p`` algorithm on a deterministic SINR channel,
+    ``run_fast_trials`` consumes the identical ``(seed, trial)`` generator
+    tree and the identical coin-flip stream as ``FixedProbabilityProtocol``
+    through the generic engine, and computes the identical decode — so the
+    per-trial round counts match exactly. E1 relies on this to switch
+    runners without changing a single recorded number."""
+
+    @pytest.mark.parametrize("n", [16, 32, 64])
+    def test_run_trials_matches_run_fast_trials_exactly(self, n):
+        from repro.sim.parallel import run_fast_trials
+        from repro.sim.runner import high_probability_budget, run_trials
+        from repro.sinr.parameters import SINRParameters
+
+        params = SINRParameters(alpha=3.0)
+        trials, p, seed = 6, 0.1, (101, n)
+        budget = high_probability_budget(n)
+
+        def factory(rng, n=n):
+            return SINRChannel(uniform_disk(n, rng), params=params)
+
+        engine = run_trials(
+            factory,
+            FixedProbabilityProtocol(p),
+            trials,
+            seed=seed,
+            max_rounds=budget,
+        )
+        fast = run_fast_trials(
+            factory, p, trials=trials, seed=seed, max_rounds=budget
+        )
+        assert engine.rounds == fast.rounds
+        assert engine.failures == fast.failures
+        assert engine.total_rounds_executed == fast.total_rounds_executed
+
+
 class TestEquivalenceWithGenericEngine:
     def test_distributions_agree(self):
         """Fast path and generic engine must produce the same statistics.

@@ -1,0 +1,137 @@
+"""``listeners=`` semantics, pinned identically across both channel types.
+
+Regression tests for the listener-validation bug (a negative listener
+index used to wrap silently on the SINR channel, addressing node
+``n - 1``), plus a property-style sweep of the edge cases the keyword
+must treat identically on :class:`repro.sinr.channel.SINRChannel` and
+:class:`repro.radio.channel.RadioChannel`:
+
+* ``listeners=[]`` means *nobody listens* — not ``None`` (everyone
+  listens);
+* duplicate listener indices behave exactly like the deduplicated set;
+* a listener set consisting only of transmitters yields an empty report
+  (a node cannot transmit and listen in the same round);
+* negative and past-the-end indices raise a clear ``IndexError`` instead
+  of wrapping or crashing deep inside numpy.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.radio.channel import RadioChannel
+from repro.sinr.channel import SINRChannel
+
+N = 6
+POSITIONS = [(float(3 * i), 0.0) for i in range(N)]
+
+
+def _sinr():
+    return SINRChannel(POSITIONS)
+
+
+def _radio():
+    return RadioChannel(N)
+
+
+def _observed(report):
+    """The set of nodes that perceived the round, for either report type."""
+    if hasattr(report, "observations"):  # RadioReport
+        return set(report.observations)
+    return set(report.energy)  # ReceptionReport
+
+
+CHANNELS = {"sinr": _sinr, "radio": _radio}
+
+
+@pytest.fixture(params=sorted(CHANNELS))
+def channel(request):
+    return CHANNELS[request.param]()
+
+
+class TestValidation:
+    """The acceptance criterion: clear IndexError on both channel types."""
+
+    @pytest.mark.parametrize("bad", [[-1], [N], [0, -1], [N + 7], [-N]])
+    def test_out_of_range_listeners_raise(self, channel, bad):
+        with pytest.raises(IndexError, match="listener index out of range"):
+            channel.resolve([0], listeners=bad)
+
+    def test_negative_listener_does_not_wrap(self):
+        # The original bug: listeners=[-1] silently addressed node n-1.
+        # A wrapped index would *succeed* and report energy at node N-1;
+        # it must raise instead.
+        with pytest.raises(IndexError):
+            _sinr().resolve([0], listeners=[-1])
+
+    def test_transmitter_validation_unchanged(self, channel):
+        with pytest.raises(IndexError, match="transmitter index out of range"):
+            channel.resolve([N])
+
+
+class TestEdgeCases:
+    def test_empty_list_is_not_none(self, channel):
+        nobody = channel.resolve([0], listeners=[])
+        everyone = channel.resolve([0], listeners=None)
+        assert _observed(nobody) == set()
+        assert nobody.received_from == {}
+        assert _observed(everyone) == set(range(1, N))
+
+    def test_duplicates_equal_unique(self, channel):
+        unique = channel.resolve([0], listeners=[1, 2])
+        doubled = channel.resolve([0], listeners=[1, 1, 2, 2, 1])
+        assert doubled.received_from == unique.received_from
+        assert _observed(doubled) == _observed(unique)
+
+    def test_all_transmitters_yield_empty_report(self, channel):
+        report = channel.resolve([0, 1], listeners=[0, 1])
+        assert report.received_from == {}
+        assert _observed(report) == set()
+
+    def test_transmitters_filtered_from_mixed_listeners(self, channel):
+        report = channel.resolve([0], listeners=[0, 1])
+        assert _observed(report) == {1}
+
+
+class TestPropertySweep:
+    """Random listener subsets: both channels agree on *who* observes."""
+
+    @given(
+        tx=st.sets(st.integers(0, N - 1), min_size=1, max_size=N),
+        listeners=st.lists(st.integers(0, N - 1), max_size=2 * N),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_observed_set_identical_across_channels(self, tx, listeners):
+        tx = sorted(tx)
+        reports = {
+            kind: build().resolve(tx, listeners=listeners)
+            for kind, build in CHANNELS.items()
+        }
+        expected = set(listeners) - set(tx)
+        for kind, report in reports.items():
+            assert _observed(report) == expected, kind
+
+    @given(
+        tx=st.sets(st.integers(0, N - 1), min_size=1, max_size=N - 1),
+        listeners=st.lists(st.integers(0, N - 1), min_size=1, max_size=N),
+        bad=st.sampled_from([-1, N, -3, N + 2]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_one_bad_index_always_raises(self, tx, listeners, bad):
+        polluted = listeners + [bad]
+        for kind, build in CHANNELS.items():
+            with pytest.raises(IndexError, match="listener index out of range"):
+                build().resolve(sorted(tx), listeners=polluted)
+
+    @given(st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_duplicates_never_change_the_decode(self, data):
+        tx = sorted(data.draw(st.sets(st.integers(0, N - 1), min_size=1, max_size=3)))
+        base = data.draw(st.lists(st.integers(0, N - 1), min_size=1, max_size=N))
+        dup = base + data.draw(st.lists(st.sampled_from(base), max_size=N))
+        for kind, build in CHANNELS.items():
+            a = build().resolve(tx, listeners=base)
+            b = build().resolve(tx, listeners=dup)
+            assert a.received_from == b.received_from, kind
+            assert _observed(a) == _observed(b), kind

@@ -180,9 +180,11 @@ class TestExperimentsCliTelemetry:
         assert manifest.status == "completed"
 
         metrics = json.loads((directory / "metrics.json").read_text())
-        assert metrics["sim.rounds"]["value"] > 0
+        # E1 runs on the vectorised fast path, so round work lands on
+        # the fast.* counters rather than sim.* / channel.*.
+        assert metrics["fast.rounds"]["value"] > 0
+        assert metrics["fast.executions"]["value"] > 0
         assert metrics["runner.trials"]["value"] > 0
-        assert metrics["channel.sinr.resolve_calls"]["value"] > 0
 
         events = read_events(directory / "events.jsonl")
         kinds = [e["event"] for e in events]
