@@ -2,6 +2,18 @@
 
 ``python -m repro.experiments all`` runs the whole index and prints a
 summary scoreboard at the end — the same rows EXPERIMENTS.md records.
+A comma-separated list (``E1,E5,E17``) runs a subset in the given order.
+
+``--checkpoint-dir DIR`` makes the sweep crash-tolerant: each completed
+experiment's result (and its telemetry delta) is checkpointed to DIR via
+an atomic write, keyed by experiment id + preset + config hash (seed
+included). ``--resume`` then skips experiments whose matching checkpoint
+already exists and re-runs only the remainder — bit-identically, since
+results are pure functions of their configs (see
+:mod:`repro.experiments.sweep` and docs/experiments.md). SIGINT/SIGTERM
+terminate parallel workers promptly, flush telemetry, and finalise
+``manifest.json`` with ``status="interrupted"`` (exit code 130) instead
+of leaving truncated artifacts.
 
 ``--telemetry-dir DIR`` wraps the run in a
 :class:`repro.obs.TelemetrySession`: DIR receives ``manifest.json``
@@ -63,7 +75,7 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "experiment",
-        help="experiment id (E1..E12) or 'all'",
+        help="experiment id (E1..E18), a comma-separated list of ids, or 'all'",
     )
     parser.add_argument(
         "--full",
@@ -101,6 +113,20 @@ def main(argv=None) -> int:
         "docs/parallelism.md)",
     )
     parser.add_argument(
+        "--checkpoint-dir",
+        metavar="DIR",
+        help="checkpoint each completed experiment's results into DIR "
+        "(atomic writes, keyed by experiment id + preset + config hash); "
+        "an interrupted sweep can then be continued with --resume",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip experiments whose matching checkpoint already exists in "
+        "--checkpoint-dir and run only the remainder (results are "
+        "bit-identical to an uninterrupted run; see docs/experiments.md)",
+    )
+    parser.add_argument(
         "--probes",
         action="store_true",
         help="record the round-level flight recorder (probes.npz) and run "
@@ -121,17 +147,34 @@ def main(argv=None) -> int:
     if args.probes and not args.telemetry_dir:
         parser.error("--probes requires --telemetry-dir (probes.npz needs "
                      "a directory to land in)")
+    if args.resume and not args.checkpoint_dir:
+        parser.error("--resume requires --checkpoint-dir (there is nothing "
+                     "to resume from without checkpoints)")
+    if args.probes and args.resume:
+        parser.error("--probes cannot be combined with --resume (skipped "
+                     "experiments would be missing from probes.npz)")
 
     if args.experiment.lower() == "all":
         ids = sorted(REGISTRY, key=lambda e: int(e[1:]))
     else:
-        experiment_id = args.experiment.upper()
-        if experiment_id not in REGISTRY:
+        ids = []
+        for token in args.experiment.split(","):
+            token = token.strip()
+            if not token:
+                continue
+            experiment_id = token.upper()
+            if experiment_id not in REGISTRY:
+                parser.error(
+                    f"unknown experiment {token!r}; "
+                    f"choose from {sorted(REGISTRY)} or 'all'"
+                )
+            if experiment_id not in ids:
+                ids.append(experiment_id)
+        if not ids:
             parser.error(
-                f"unknown experiment {args.experiment!r}; "
+                f"no experiment ids in {args.experiment!r}; "
                 f"choose from {sorted(REGISTRY)} or 'all'"
             )
-        ids = [experiment_id]
 
     preset = "full" if args.full else "quick"
     configs = {experiment_id: _config_for(experiment_id, args.full) for experiment_id in ids}
@@ -152,6 +195,8 @@ def main(argv=None) -> int:
                 "workers": args.workers,
                 "batch": args.batch,
                 "probes": args.probes,
+                "checkpoint_dir": args.checkpoint_dir,
+                "resume": args.resume,
                 "experiments": {
                     experiment_id: dataclasses.asdict(config)
                     for experiment_id, config in configs.items()
@@ -162,6 +207,15 @@ def main(argv=None) -> int:
         session.start()
 
     from repro.experiments.common import default_batch, default_workers
+    from repro.experiments.sweep import (
+        CheckpointStore,
+        SweepInterrupted,
+        config_key,
+        isolated_metrics,
+        termination_signals_as_interrupts,
+    )
+
+    store = CheckpointStore(args.checkpoint_dir) if args.checkpoint_dir else None
 
     profiler = None
     profile_report = None
@@ -185,26 +239,88 @@ def main(argv=None) -> int:
 
     scoreboard = []
     results = []
+    resumed_count = 0
     try:
-        with default_workers(args.workers), default_batch(args.batch):
+        with termination_signals_as_interrupts(), \
+                default_workers(args.workers), default_batch(args.batch):
             if profiler is not None:
                 profiler.enable()
             for experiment_id in ids:
-                if session is not None:
-                    session.emit(
-                        "experiment_start", experiment=experiment_id, preset=preset
-                    )
-                result, elapsed = _run_one(experiment_id, configs[experiment_id])
-                if session is not None:
-                    session.emit(
-                        "experiment_end",
-                        experiment=experiment_id,
-                        passed=result.passed,
-                        elapsed_s=elapsed,
-                        checks={name: bool(ok) for name, ok in result.checks.items()},
-                    )
+                config = configs[experiment_id]
+                key = config_key(experiment_id, preset, config)
+                checkpoint = None
+                if store is not None and args.resume:
+                    checkpoint = store.load(experiment_id, key)
+                if checkpoint is not None:
+                    result = checkpoint.result
+                    elapsed = checkpoint.elapsed_s
+                    resumed_count += 1
+                    print(result.format())
+                    print(f"  (resumed from checkpoint; originally {elapsed:.1f}s)")
+                    print()
+                    if session is not None:
+                        session.emit(
+                            "experiment_resumed",
+                            experiment=experiment_id,
+                            preset=preset,
+                            key=key,
+                            original_elapsed_s=elapsed,
+                        )
+                        if checkpoint.metrics:
+                            session.registry.merge_snapshot(checkpoint.metrics)
+                else:
+                    if session is not None:
+                        session.emit(
+                            "experiment_start", experiment=experiment_id, preset=preset
+                        )
+                    # With checkpointing on, each experiment records into
+                    # its own registry so its metrics delta can be saved
+                    # alongside the result and replayed on --resume.
+                    with isolated_metrics(
+                        store is not None and session is not None
+                    ) as capture:
+                        result, elapsed = _run_one(experiment_id, config)
+                    if session is not None:
+                        session.emit(
+                            "experiment_end",
+                            experiment=experiment_id,
+                            passed=result.passed,
+                            elapsed_s=elapsed,
+                            checks={
+                                name: bool(ok) for name, ok in result.checks.items()
+                            },
+                        )
+                    if store is not None:
+                        store.save(
+                            experiment_id, key, preset, result, elapsed,
+                            metrics=capture(),
+                        )
                 scoreboard.append((experiment_id, result.passed, elapsed))
                 results.append(result)
+    except (SweepInterrupted, KeyboardInterrupt) as interrupt:
+        _finalise_profile()
+        if session is not None:
+            session.emit(
+                "sweep_interrupted",
+                completed=len(scoreboard),
+                total=len(ids),
+                signum=getattr(interrupt, "signum", None),
+            )
+            session.finish(status="interrupted")
+            session = None
+        if store is not None:
+            print(
+                f"interrupted after {len(scoreboard)}/{len(ids)} experiment(s); "
+                "completed results are checkpointed — rerun with --resume to "
+                "continue",
+                file=sys.stderr,
+            )
+        else:
+            print(
+                f"interrupted after {len(scoreboard)}/{len(ids)} experiment(s)",
+                file=sys.stderr,
+            )
+        return 130
     except BaseException:
         _finalise_profile()
         if session is not None:
@@ -228,6 +344,8 @@ def main(argv=None) -> int:
             print(
                 f"  {experiment_id:<4} {'PASS' if passed else 'FAIL'}  ({elapsed:.1f}s)"
             )
+        if resumed_count:
+            print(f"  ({resumed_count} of {len(ids)} resumed from checkpoints)")
     if args.telemetry_dir:
         print(f"telemetry written to {args.telemetry_dir}")
         if args.probes:

@@ -1,0 +1,263 @@
+"""Crash-tolerant experiment sweeps: checkpoints, resume, clean interrupts.
+
+The full reproduction (``python -m repro.experiments all --full``) runs
+18 experiments back to back; before this module a crash, an OOM-killed
+worker, or a Ctrl-C at experiment 17 threw away everything. The sweep
+layer makes long runs *restartable*:
+
+* :class:`CheckpointStore` persists each completed experiment's
+  :class:`~repro.experiments.common.ExperimentResult` (plus its metrics
+  delta) to its own JSON file, written atomically
+  (:func:`repro.obs.atomic.atomic_write_json`) and keyed by
+  :func:`config_key` — a hash over the experiment id, preset, and the
+  full config dataclass, seed included. A checkpoint is only ever reused
+  when that key matches, so editing a config or changing a seed silently
+  invalidates stale checkpoints instead of resurrecting wrong numbers.
+* ``python -m repro.experiments all --checkpoint-dir DIR`` saves
+  checkpoints as it goes; adding ``--resume`` loads matching checkpoints
+  and re-runs only the remainder.
+* :func:`termination_signals_as_interrupts` converts SIGINT/SIGTERM into
+  :class:`SweepInterrupted`, so the CLI can terminate parallel workers
+  promptly, flush telemetry, and finalise ``manifest.json`` with
+  ``status="interrupted"`` instead of leaving truncated artifacts.
+
+The resume contract
+-------------------
+
+Trial entropy is a pure function of ``(seed, trial_index)``
+(docs/parallelism.md), and experiment ``run`` functions are pure given
+their config, so a resumed sweep's tables, checks and notes are
+**bit-identical** to an uninterrupted run's — only wall-clock timings
+differ. Checkpoints therefore store results at full JSON float fidelity
+(shortest-``repr`` round trip) and the per-experiment metrics snapshot,
+letting a resumed run's final ``metrics.json`` match an uninterrupted
+run's on everything but the ``*_seconds`` timing histograms.
+``tests/test_sweep.py`` and the CI crash/resume smoke pin this.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+import hashlib
+import json
+import signal
+import threading
+from dataclasses import dataclass
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Any, Dict, Iterator, Optional, Union
+
+from repro.experiments.common import ExperimentResult, json_safe
+from repro.obs.atomic import atomic_write_json
+from repro.obs.registry import MetricsRegistry, get_registry, set_registry
+
+__all__ = [
+    "CHECKPOINT_FORMAT",
+    "CHECKPOINT_VERSION",
+    "CheckpointStore",
+    "SweepCheckpoint",
+    "SweepInterrupted",
+    "config_key",
+    "isolated_metrics",
+    "termination_signals_as_interrupts",
+]
+
+PathLike = Union[str, Path]
+
+CHECKPOINT_FORMAT = "repro-sweep-checkpoint"
+CHECKPOINT_VERSION = 1
+
+
+def config_key(experiment_id: str, preset: str, config: Any) -> str:
+    """Stable identity of one experiment invocation.
+
+    A SHA-256 digest (truncated to 16 hex chars) over the experiment id,
+    the preset name, and the *entire* config dataclass rendered as
+    canonical JSON — which includes the seed, so ``quick`` vs ``full``,
+    a reseeded run, and a re-tuned sweep all get distinct keys. Two
+    processes computing the key for the same invocation always agree,
+    which is what lets ``--resume`` trust a checkpoint written by a
+    previous (possibly crashed) process.
+    """
+    if dataclasses.is_dataclass(config) and not isinstance(config, type):
+        config = dataclasses.asdict(config)
+    payload = {
+        "experiment": str(experiment_id),
+        "preset": str(preset),
+        "config": json_safe(config),
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass
+class SweepCheckpoint:
+    """One completed experiment, as persisted by :class:`CheckpointStore`."""
+
+    experiment_id: str
+    key: str
+    preset: str
+    result: ExperimentResult
+    elapsed_s: float
+    #: The experiment's own metrics delta (a
+    #: :meth:`~repro.obs.registry.MetricsRegistry.snapshot`), captured by
+    #: running it under :func:`isolated_metrics`; ``None`` when the run
+    #: recorded no telemetry. Merged into the session registry on resume
+    #: so skipping an experiment does not skew ``metrics.json``.
+    metrics: Optional[Dict[str, Dict[str, Any]]] = None
+    saved_at: str = ""
+
+
+class CheckpointStore:
+    """One atomic JSON checkpoint file per experiment in a directory.
+
+    Files are named ``<experiment_id>.checkpoint.json`` and written via
+    write-temp-then-``os.replace``, so a kill at any instant leaves
+    either the previous complete checkpoint or the new one — a resumed
+    run can trust whatever it finds. :meth:`load` is deliberately
+    forgiving: a missing, corrupt, foreign, version-skewed or
+    key-mismatched file simply means "not checkpointed" (returns
+    ``None``) and the experiment re-runs.
+    """
+
+    def __init__(self, directory: PathLike) -> None:
+        self.directory = Path(directory)
+
+    def path_for(self, experiment_id: str) -> Path:
+        return self.directory / f"{experiment_id}.checkpoint.json"
+
+    def save(
+        self,
+        experiment_id: str,
+        key: str,
+        preset: str,
+        result: ExperimentResult,
+        elapsed_s: float,
+        metrics: Optional[Dict[str, Dict[str, Any]]] = None,
+    ) -> Path:
+        """Atomically persist one completed experiment."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        document = {
+            "format": CHECKPOINT_FORMAT,
+            "version": CHECKPOINT_VERSION,
+            "experiment": str(experiment_id),
+            "key": str(key),
+            "preset": str(preset),
+            "elapsed_s": float(elapsed_s),
+            "result": result.to_dict(),
+            "metrics": metrics,
+            "saved_at": datetime.now(timezone.utc).isoformat(),
+        }
+        return atomic_write_json(self.path_for(experiment_id), document)
+
+    def load(self, experiment_id: str, key: str) -> Optional[SweepCheckpoint]:
+        """The checkpoint for ``experiment_id`` iff its key matches."""
+        path = self.path_for(experiment_id)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                document = json.load(handle)
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            return None
+        if not isinstance(document, dict):
+            return None
+        if document.get("format") != CHECKPOINT_FORMAT:
+            return None
+        if document.get("version") != CHECKPOINT_VERSION:
+            return None
+        if document.get("experiment") != experiment_id:
+            return None
+        if document.get("key") != key:
+            return None
+        try:
+            result = ExperimentResult.from_dict(document["result"])
+        except (KeyError, TypeError, ValueError):
+            return None
+        return SweepCheckpoint(
+            experiment_id=experiment_id,
+            key=key,
+            preset=str(document.get("preset", "")),
+            result=result,
+            elapsed_s=float(document.get("elapsed_s", 0.0)),
+            metrics=document.get("metrics"),
+            saved_at=str(document.get("saved_at", "")),
+        )
+
+
+@contextlib.contextmanager
+def isolated_metrics(isolate: bool):
+    """Scope a block to a fresh enabled registry; yield its snapshot-taker.
+
+    With ``isolate`` true, the process-global registry is swapped for a
+    fresh enabled :class:`~repro.obs.registry.MetricsRegistry` for the
+    duration of the block, and the block's recordings are merged back
+    into the previous registry on exit (exceptional exits included, so an
+    interrupted experiment's partial counters still reach the session's
+    final ``metrics.json``). The yielded callable returns the *local*
+    registry's snapshot — exactly the delta this block contributed, which
+    is what a sweep checkpoint stores and what ``--resume`` replays via
+    ``merge_snapshot``. Because counters merge additively and snapshots
+    are key-sorted, isolating an experiment is invisible in the final
+    metrics artifact.
+
+    With ``isolate`` false (telemetry off, or no checkpointing), the
+    block runs against the unmodified global registry and the callable
+    returns ``None``.
+    """
+    if not isolate:
+        yield lambda: None
+        return
+    parent = get_registry()
+    local = MetricsRegistry(enabled=True)
+    set_registry(local)
+    try:
+        yield local.snapshot
+    finally:
+        set_registry(parent)
+        parent.merge_snapshot(local.snapshot())
+
+
+class SweepInterrupted(KeyboardInterrupt):
+    """SIGINT/SIGTERM landed while a guarded sweep was running.
+
+    A :class:`KeyboardInterrupt` subclass, so ``except Exception`` blocks
+    in experiment code never swallow it, and any handler written for
+    Ctrl-C handles a polite ``kill -TERM`` identically.
+    """
+
+    def __init__(self, signum: int) -> None:
+        super().__init__(f"interrupted by signal {signum}")
+        self.signum = signum
+
+
+@contextlib.contextmanager
+def termination_signals_as_interrupts() -> Iterator[None]:
+    """Raise :class:`SweepInterrupted` on SIGINT/SIGTERM inside the block.
+
+    SIGTERM — what ``timeout``, process supervisors, and OOM-adjacent
+    babysitters send — normally kills Python without unwinding, leaving
+    live worker processes and truncated artifacts. Inside this context
+    both signals raise through the sweep loop instead, so ``finally``
+    blocks terminate workers, checkpoints survive, and the telemetry
+    session can finalise ``manifest.json`` with ``status="interrupted"``.
+    Previous handlers are restored on exit. Off the main thread (where
+    CPython forbids ``signal.signal``) the context is a no-op.
+    """
+    if threading.current_thread() is not threading.main_thread():
+        yield
+        return
+
+    def _handler(signum, frame):
+        raise SweepInterrupted(signum)
+
+    previous = {}
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            previous[signum] = signal.signal(signum, _handler)
+        except (ValueError, OSError):  # pragma: no cover - exotic platforms
+            continue
+    try:
+        yield
+    finally:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)

@@ -55,6 +55,7 @@ from repro.obs.events import (
     read_events,
     set_sink,
 )
+from repro.obs.atomic import atomic_write_bytes, atomic_write_json, atomic_write_text
 from repro.obs.manifest import RunManifest, collect_environment, collect_git_sha
 from repro.obs.monitors import (
     ActiveSetGrowthMonitor,
@@ -106,6 +107,9 @@ __all__ = [
     "SINRProbe",
     "TelemetrySession",
     "Timer",
+    "atomic_write_bytes",
+    "atomic_write_json",
+    "atomic_write_text",
     "build_profile_report",
     "collect_environment",
     "collect_git_sha",

@@ -67,6 +67,10 @@ class JsonlEventSink(EventSink):
     previous rollover — at most one generation is kept) and a fresh file
     is started, so ``events.jsonl`` can never grow unboundedly. Rotation
     happens on line boundaries; ``rotations`` counts how often it fired.
+    The size check tracks bytes written directly (seeded from the file's
+    size when appending to an existing log) instead of calling
+    ``tell()`` per emit — text-mode ``tell`` forces internal buffer
+    bookkeeping that would defeat ``flush_every`` batching.
 
     ``clock`` is injectable for deterministic tests.
     """
@@ -87,6 +91,9 @@ class JsonlEventSink(EventSink):
         self.flush_every = flush_every
         self.max_bytes = max_bytes
         self._handle = open(self.path, "a", encoding="utf-8")
+        # Opened in append mode, so any pre-existing content counts
+        # toward the rotation limit.
+        self._bytes_written = self.path.stat().st_size
         self._unflushed = 0
         self.events_emitted = 0
         self.rotations = 0
@@ -96,13 +103,16 @@ class JsonlEventSink(EventSink):
             raise ValueError(f"event sink {self.path} is closed")
         record: Dict[str, object] = {"event": kind, "ts": self._clock()}
         record.update(fields)
-        self._handle.write(json.dumps(record, default=str) + "\n")
+        line = json.dumps(record, default=str) + "\n"
+        self._handle.write(line)
         self._unflushed += 1
         if self._unflushed >= self.flush_every:
             self.flush()
         self.events_emitted += 1
-        if self.max_bytes is not None and self._handle.tell() >= self.max_bytes:
-            self._rotate()
+        if self.max_bytes is not None:
+            self._bytes_written += len(line.encode("utf-8"))
+            if self._bytes_written >= self.max_bytes:
+                self._rotate()
 
     def flush(self) -> None:
         if not self._handle.closed:
@@ -114,6 +124,7 @@ class JsonlEventSink(EventSink):
         self._handle.close()
         self.path.replace(self.path.with_name(self.path.name + ".1"))
         self._handle = open(self.path, "a", encoding="utf-8")
+        self._bytes_written = 0
         self.rotations += 1
 
     def close(self) -> None:

@@ -4,7 +4,10 @@ A manifest answers "what exactly produced these numbers?" months later:
 the seed(s), the protocol/channel configuration, the package version, the
 git SHA the code ran at, the platform, and the wall-clock window. It is
 written *first* (status ``running``) so even a crashed run leaves a
-record, then finalised on exit.
+record, then finalised on exit — with status ``completed``, ``failed``,
+or ``interrupted`` (SIGINT/SIGTERM landed mid-run). Writes go through
+:func:`repro.obs.atomic.atomic_write_json`, so a crash mid-write can
+never leave a truncated ``manifest.json``.
 """
 
 from __future__ import annotations
@@ -18,6 +21,8 @@ from dataclasses import asdict, dataclass, field
 from datetime import datetime, timezone
 from pathlib import Path
 from typing import Any, Dict, Optional, Union
+
+from repro.obs.atomic import atomic_write_json
 
 __all__ = ["RunManifest", "collect_environment", "collect_git_sha"]
 
@@ -135,9 +140,8 @@ class RunManifest:
         return document
 
     def write(self, path: PathLike) -> None:
-        with open(path, "w", encoding="utf-8") as handle:
-            json.dump(self.to_dict(), handle, indent=2, default=str)
-            handle.write("\n")
+        """Atomically (re)write the manifest — never a truncated file."""
+        atomic_write_json(path, self.to_dict())
 
     @classmethod
     def load(cls, path: PathLike) -> "RunManifest":

@@ -414,13 +414,24 @@ class ProbeRecorder:
                 self._columns[name].extend(np.asarray(values).tolist())
 
     def write(self, path: PathLike) -> Path:
-        """Write the recorder as a compressed ``probes.npz``."""
+        """Write the recorder as a compressed ``probes.npz``.
+
+        Serialised to memory first and placed with
+        :func:`repro.obs.atomic.atomic_write_bytes`, so a kill mid-write
+        cannot leave a truncated archive at ``path``.
+        """
+        import io
+
+        from repro.obs.atomic import atomic_write_bytes
+
         path = Path(path)
+        buffer = io.BytesIO()
         np.savez_compressed(
-            path,
+            buffer,
             format_version=np.int64(PROBES_FORMAT_VERSION),
             **self.snapshot(),
         )
+        atomic_write_bytes(path, buffer.getvalue())
         return path
 
 

@@ -26,11 +26,11 @@ Usage::
 
 from __future__ import annotations
 
-import json
 import uuid
 from pathlib import Path
 from typing import Any, Dict, Optional, Union
 
+from repro.obs.atomic import atomic_write_json
 from repro.obs.events import JsonlEventSink, set_sink
 from repro.obs.manifest import RunManifest
 from repro.obs.probe import PROBES_FILENAME, ProbeBus, ProbeRecorder, set_probe_bus
@@ -126,11 +126,14 @@ class TelemetrySession:
             self.sink.emit(kind, **fields)
 
     def write_metrics_snapshot(self) -> Dict[str, Dict[str, Any]]:
-        """Write the current registry snapshot to ``metrics.json``."""
+        """Atomically write the current registry snapshot to ``metrics.json``.
+
+        Routed through :func:`repro.obs.atomic.atomic_write_json` so a
+        crash mid-write leaves the previous snapshot (or nothing), never
+        a truncated file.
+        """
         snapshot = self.registry.snapshot()
-        with open(self.metrics_path, "w", encoding="utf-8") as handle:
-            json.dump(snapshot, handle, indent=2, default=str)
-            handle.write("\n")
+        atomic_write_json(self.metrics_path, snapshot)
         return snapshot
 
     def set_profile(self, report: Dict[str, Any]) -> None:

@@ -9,12 +9,18 @@ from __future__ import annotations
 
 from typing import Iterable, Optional, Sequence
 
+import numpy as np
+
 from repro.experiments.common import COST_HEADER, ExperimentResult
 
-__all__ = ["render_result_markdown", "write_report"]
+__all__ = ["render_result_markdown", "strip_cost_tables", "write_report"]
 
 
 def _render_cell(cell) -> str:
+    if isinstance(cell, np.generic):
+        # Match the text renderer: numpy scalars render via their Python
+        # equivalents so checkpoint-restored results render identically.
+        cell = cell.item()
     if isinstance(cell, bool):
         return "yes" if cell else "no"
     if isinstance(cell, float):
@@ -54,6 +60,32 @@ def render_result_markdown(result: ExperimentResult, heading_level: int = 2) -> 
         lines.append(_markdown_table(COST_HEADER, result.timings))
         lines.append("")
     return "\n".join(lines)
+
+
+def strip_cost_tables(text: str) -> str:
+    """Drop every **Cost** section from a rendered report.
+
+    Cost rows carry wall times and rounds/sec — the only
+    machine-dependent content a report contains. Everything else (tables,
+    checks, notes) is a pure function of the experiment seed, so two
+    reports from the same seeds must agree exactly after this strip; the
+    crash/resume CI smoke and ``tests/test_sweep.py`` diff reports
+    through it ("byte-identical modulo timings").
+    """
+    lines = text.split("\n")
+    kept = []
+    index = 0
+    while index < len(lines):
+        if lines[index].strip() == "**Cost**":
+            index += 1
+            while index < len(lines) and (
+                not lines[index].strip() or lines[index].lstrip().startswith("|")
+            ):
+                index += 1
+            continue
+        kept.append(lines[index])
+        index += 1
+    return "\n".join(kept)
 
 
 def write_report(

@@ -57,6 +57,19 @@ shard finishes, merges the worker's metrics snapshot into its own
 registry (:meth:`~repro.obs.registry.MetricsRegistry.merge_snapshot`) so
 ``metrics.json`` totals match a serial run.
 
+Failure model
+-------------
+
+A worker death — nonzero exit code, an exception shipped back, or a
+clean exit that never reported its shard — re-executes **only that
+shard** in a fresh process, up to :data:`DEFAULT_SHARD_ATTEMPTS` total
+attempts with exponential backoff, keeping every other shard's completed
+trials. Because trial entropy is a pure function of ``(seed,
+trial_index)``, the retry reproduces the dead worker's trials
+bit-exactly, so retries are invisible in the results. A parent-side
+exception (e.g. ``KeyboardInterrupt``) terminates workers promptly
+instead of waiting for their shards. See docs/parallelism.md.
+
 Deterministic deployments
 -------------------------
 
@@ -91,6 +104,7 @@ from repro.sim.runner import ChannelFactory, TrialStats, execute_trial
 from repro.sim.seeding import SeedLike, spawn_seed_sequences
 
 __all__ = [
+    "DEFAULT_SHARD_ATTEMPTS",
     "DETERMINISTIC_ATTR",
     "StaticDeploymentFactory",
     "UniformDiskFactory",
@@ -119,6 +133,29 @@ _HEARTBEAT_SECONDS = 1.0
 #: Seconds the parent waits on the result queue before re-checking worker
 #: liveness.
 _POLL_SECONDS = 0.2
+
+#: Default number of attempts a shard gets before the whole run fails
+#: (first execution + retries). See the failure model in
+#: docs/parallelism.md.
+DEFAULT_SHARD_ATTEMPTS = 3
+
+#: Base delay before re-spawning a failed shard; doubles per retry
+#: (0.1 s, 0.2 s, 0.4 s, ...).
+_RETRY_BACKOFF_SECONDS = 0.1
+
+#: Consecutive empty queue polls after which a worker that exited with
+#: code 0 *without* reporting ``done`` is declared lost (its results are
+#: not coming — e.g. the queue feeder died with it) and its shard is
+#: retried. With ``_POLL_SECONDS = 0.2`` this is ~1 s of silence.
+_LOST_WORKER_EMPTY_POLLS = 5
+
+#: Seconds a failed worker gets to exit on its own before being
+#: terminated. A worker that shipped an ``error`` message is already
+#: unwinding; SIGTERM-ing it mid-exit can kill its queue feeder thread
+#: while it holds the queue's shared write lock, poisoning the lock for
+#: every subsequently retried worker (they block forever in ``put`` and
+#: the run deadlocks). Reaping by graceful join avoids the window.
+_REAP_GRACE_SECONDS = 5.0
 
 
 # ---------------------------------------------------------------------------
@@ -481,8 +518,24 @@ def _execute_sharded(
     p: float,
     protocol_name: str,
     batch: int = 1,
+    shard_attempts: int = DEFAULT_SHARD_ATTEMPTS,
 ) -> TrialStats:
-    """Shared parent-side machinery for both execution modes."""
+    """Shared parent-side machinery for both execution modes.
+
+    Failure model (docs/parallelism.md): a shard whose worker dies — a
+    nonzero exit code, an exception shipped back as an ``error``
+    message, or a clean exit that never reported ``done`` (lost queue) —
+    is re-executed in a fresh process, up to ``shard_attempts`` total
+    attempts with exponential backoff, while every other shard's
+    completed trials are kept. Seed sharding makes the retry bit-exact:
+    a re-executed shard reproduces exactly the trials the dead worker
+    owed, so retries are invisible in the results. Only when a shard
+    exhausts its attempts does the run raise ``RuntimeError``. Any
+    exception in the parent (including ``KeyboardInterrupt``) terminates
+    the workers promptly instead of waiting for their shards to finish.
+    """
+    if shard_attempts < 1:
+        raise ValueError(f"shard_attempts must be positive (got {shard_attempts})")
     obs = get_registry()
     recording = obs.enabled
     sink = get_sink() if recording else None
@@ -514,40 +567,100 @@ def _execute_sharded(
     ]
 
     batch_started = time.perf_counter()
-    processes = [
-        context.Process(target=_shard_worker, args=(spec, results), daemon=True)
-        for spec in specs
-    ]
-    for process in processes:
+    specs_by_id = {spec.worker_id: spec for spec in specs}
+    processes: Dict[int, object] = {}
+    attempts: Dict[int, int] = {}
+
+    def _spawn(worker_id: int) -> None:
+        attempts[worker_id] = attempts.get(worker_id, 0) + 1
+        process = context.Process(
+            target=_shard_worker, args=(specs_by_id[worker_id], results), daemon=True
+        )
         process.start()
+        processes[worker_id] = process
+
+    for spec in specs:
+        _spawn(spec.worker_id)
 
     outcomes: Dict[int, Dict[str, object]] = {}
     probe_snapshots: Dict[int, Dict[str, np.ndarray]] = {}
     pending = {spec.worker_id for spec in specs}
     last_heartbeat = batch_started
-    failure: Optional[str] = None
+    clean_exit = False
+
+    def _retry_or_fail(worker_id: int, reason: str) -> None:
+        """Reap a failed shard and re-spawn it, or raise once exhausted.
+
+        Only this shard is re-executed; every other shard's completed
+        trials stay in ``outcomes``. Duplicate trial payloads from the
+        dead attempt are bit-identical by the seed-sharding contract, so
+        overwriting them on retry is harmless.
+        """
+        process = processes[worker_id]
+        # Reap by graceful join: an errored worker is already exiting by
+        # itself, and terminating it mid-exit can kill its queue feeder
+        # thread while it holds the queue's shared write lock — which
+        # would deadlock every retried worker's ``put`` forever. Only a
+        # worker that refuses to die gets terminated.
+        process.join(timeout=_REAP_GRACE_SECONDS)
+        if process.is_alive():
+            process.terminate()
+            process.join()
+        if attempts[worker_id] >= shard_attempts:
+            raise RuntimeError(
+                f"parallel trial worker failed "
+                f"(shard {worker_id}, {attempts[worker_id]} attempt(s)):\n{reason}"
+            )
+        delay = _RETRY_BACKOFF_SECONDS * (2 ** (attempts[worker_id] - 1))
+        if sink is not None:
+            sink.emit(
+                "shard_retry",
+                worker_id=worker_id,
+                attempt=attempts[worker_id] + 1,
+                max_attempts=shard_attempts,
+                backoff_s=delay,
+                reason=reason.strip().splitlines()[-1] if reason.strip() else reason,
+            )
+        if recording:
+            obs.counter("runner.shard_retries").inc()
+        time.sleep(delay)
+        _spawn(worker_id)
+        # The fresh worker deserves a full lost-queue grace window; a
+        # stale count could declare it lost the instant it exits.
+        nonlocal empty_polls
+        empty_polls = 0
+
     try:
+        empty_polls = 0
         while pending:
             try:
                 message = results.get(timeout=_POLL_SECONDS)
             except queue_module.Empty:
-                dead = [
-                    process
-                    for worker_id, process in enumerate(processes)
-                    if worker_id in pending and process.exitcode not in (None, 0)
-                ]
-                if dead:
-                    failure = (
-                        f"worker process exited with code {dead[0].exitcode} "
-                        "before reporting results"
-                    )
-                    break
+                empty_polls += 1
+                for worker_id in sorted(pending):
+                    exitcode = processes[worker_id].exitcode
+                    if exitcode not in (None, 0):
+                        _retry_or_fail(
+                            worker_id,
+                            f"worker process exited with code {exitcode} "
+                            "before reporting results",
+                        )
+                    elif exitcode == 0 and empty_polls >= _LOST_WORKER_EMPTY_POLLS:
+                        _retry_or_fail(
+                            worker_id,
+                            "worker process exited cleanly without reporting "
+                            "results (lost queue)",
+                        )
                 continue
+            empty_polls = 0
             kind = message[0]
             if kind == "trial":
                 payload = message[2]
+                # A retried shard re-sends trials its dead predecessor
+                # already delivered; count each trial's telemetry once.
+                first_delivery = payload["trial"] not in outcomes
                 outcomes[payload["trial"]] = payload
-                if recording:
+                if recording and first_delivery:
                     obs.counter("runner.trials").inc()
                     obs.counter(
                         "runner.solved" if payload["solved"] else "runner.failures"
@@ -571,19 +684,21 @@ def _execute_sharded(
             elif kind == "done":
                 pending.discard(message[1])
             elif kind == "error":
-                failure = message[2]
-                break
+                _retry_or_fail(message[1], message[2])
+        clean_exit = True
     finally:
-        if failure is not None:
-            for process in processes:
+        # On *any* non-clean exit — a shard out of attempts, lost trials,
+        # or an in-flight exception such as KeyboardInterrupt landing in
+        # ``results.get`` — terminate live workers before joining; a bare
+        # join would block until every shard ran to completion.
+        if not clean_exit:
+            for process in processes.values():
                 if process.is_alive():
                     process.terminate()
-        for process in processes:
+        for process in processes.values():
             process.join()
         results.close()
 
-    if failure is not None:
-        raise RuntimeError(f"parallel trial worker failed:\n{failure}")
     if len(outcomes) != trials:
         raise RuntimeError(
             f"parallel run lost trials: expected {trials}, got {len(outcomes)}"
@@ -649,6 +764,7 @@ def run_trials_parallel(
     keep_traces: bool = False,
     workers: int = 2,
     start_method: Optional[str] = None,
+    shard_attempts: int = DEFAULT_SHARD_ATTEMPTS,
 ) -> TrialStats:
     """Shard ``trials`` across ``workers`` processes; bit-identical results.
 
@@ -657,7 +773,10 @@ def run_trials_parallel(
     wall-time fields reflect the parallel schedule). ``start_method``
     picks the ``multiprocessing`` start method (``None`` = platform
     default; ``"spawn"`` requires picklable ``channel_factory`` and
-    ``protocol`` — see the module docstring).
+    ``protocol`` — see the module docstring). A shard whose worker dies
+    is re-executed bit-exactly, up to ``shard_attempts`` total attempts
+    with exponential backoff, without discarding other shards' completed
+    trials (the failure model in docs/parallelism.md).
     """
     if trials < 1:
         raise ValueError(f"trials must be positive (got {trials})")
@@ -687,6 +806,7 @@ def run_trials_parallel(
         protocol,
         0.0,
         protocol.name,
+        shard_attempts=shard_attempts,
     )
 
 
@@ -699,6 +819,7 @@ def run_fast_trials(
     workers: Optional[int] = None,
     start_method: Optional[str] = None,
     batch: Optional[int] = None,
+    shard_attempts: int = DEFAULT_SHARD_ATTEMPTS,
 ) -> TrialStats:
     """Repeat :func:`~repro.sim.fast.fast_fixed_probability_run` over trials.
 
@@ -756,6 +877,7 @@ def run_fast_trials(
             p,
             name,
             batch=batch,
+            shard_attempts=shard_attempts,
         )
 
     obs = get_registry()

@@ -219,3 +219,40 @@ class TestBenchDiff:
         )
         assert regressions == []
         assert any("+50.0%" in cell for row in rows for cell in row)
+
+    @pytest.mark.parametrize("bad_rate", [float("nan"), float("inf"), 0.0, None])
+    def test_non_finite_rates_suppress_rps_delta(
+        self, bench_diff, tmp_path, capsys, bad_rate
+    ):
+        # TrialStats.rounds_per_second legitimately reports NaN for
+        # zero/NaN wall times, and NaN is truthy — the delta must be
+        # suppressed, not rendered as "nan%", and never crash the gate.
+        base = {"x": {"wall_time_s": 1.0, "rounds_per_sec": bad_rate}}
+        cand = {"x": {"wall_time_s": 1.0, "rounds_per_sec": 150.0}}
+        rows, regressions = bench_diff.compare_records(
+            load_bench_record(self._write(tmp_path, "b.json", base)),
+            load_bench_record(self._write(tmp_path, "c.json", cand)),
+        )
+        assert regressions == []
+        (row,) = rows
+        assert row[4] == ""  # rounds/s delta column stays blank
+        assert bench_diff.main(
+            [
+                self._write(tmp_path, "b2.json", base),
+                self._write(tmp_path, "c2.json", cand),
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "nan" not in out.lower()
+
+    def test_nan_scaling_baseline_reports_nothing(self, bench_diff, tmp_path):
+        record = load_bench_record(
+            self._write(
+                tmp_path,
+                "nan.json",
+                _tiny_record(
+                    parallel_trials_w1=float("nan"), parallel_trials_w2=0.5
+                ),
+            )
+        )
+        assert bench_diff.parallel_speedups(record) == {}

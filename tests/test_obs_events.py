@@ -131,6 +131,41 @@ class TestRotation:
         with pytest.raises(ValueError, match="max_bytes"):
             JsonlEventSink(tmp_path / "e.jsonl", max_bytes=0)
 
+    def test_counter_seeds_from_existing_file(self, tmp_path):
+        # Appending to a pre-existing log: its bytes count toward the
+        # rotation limit, so a restarted sweep can't overshoot max_bytes.
+        path = tmp_path / "events.jsonl"
+        path.write_text('{"event": "old", "ts": 0}\n' * 12)  # ~312 bytes
+        sink = JsonlEventSink(path, clock=lambda: 0.0, max_bytes=400)
+        for i in range(5):
+            sink.emit("tick", i=i)
+        sink.close()
+        assert sink.rotations == 1
+
+    def test_size_tracking_never_calls_tell(self, tmp_path):
+        # The rotation check must track bytes itself: per-emit ``tell()``
+        # on a text-mode handle forces buffer bookkeeping that defeats
+        # flush_every batching.
+        class NoTellHandle:
+            def __init__(self, handle):
+                self._handle = handle
+
+            def tell(self):
+                pytest.fail("emit called tell() on the log handle")
+
+            def __getattr__(self, name):
+                return getattr(self._handle, name)
+
+        sink = JsonlEventSink(
+            tmp_path / "events.jsonl", clock=lambda: 0.0,
+            flush_every=10, max_bytes=10_000,
+        )
+        sink._handle = NoTellHandle(sink._handle)
+        for i in range(25):
+            sink.emit("tick", i=i)
+        sink.close()
+        assert sink.rotations == 0
+
 
 class TestReadEventsValidation:
     def test_rejects_malformed_line(self, tmp_path):

@@ -9,6 +9,10 @@ guarantee.
 """
 
 import math
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass
 
 import numpy as np
 import pytest
@@ -18,6 +22,7 @@ from repro.obs.probe import ProbeBus, ProbeRecorder, set_probe_bus
 from repro.obs.registry import MetricsRegistry, set_registry
 from repro.protocols.simple import FixedProbabilityProtocol
 from repro.sim.parallel import (
+    DEFAULT_SHARD_ATTEMPTS,
     StaticDeploymentFactory,
     UniformDiskFactory,
     default_workers,
@@ -400,6 +405,249 @@ class TestDefaultWorkers:
                 FACTORIES["stochastic"], _protocol(), trials=2, seed=0, max_rounds=64
             )
         assert calls["workers"] == 2
+
+
+#: Per-process count of successful CrashingFactory constructions; worker
+#: processes fork with 0 (the parent never calls the factory).
+_FACTORY_CALLS = 0
+
+
+@dataclass(frozen=True)
+class CrashingFactory:
+    """Stochastic factory that kills its worker exactly once, then behaves.
+
+    After ``crash_after`` successful constructions in a process, the next
+    call races to create ``marker`` (``O_CREAT | O_EXCL`` — a cross-process
+    crash-once latch) and the winner dies in the requested ``crash_mode``:
+
+    - ``"raise"``: an exception the worker ships back as an ``error``
+      message before unwinding cleanly;
+    - ``"exit"``: ``os._exit(17)`` — a hard death with a nonzero exit
+      code and no message, like an OOM kill;
+    - ``"silent"``: ``os._exit(0)`` — a clean-looking exit that never
+      reports its shard (the lost-queue failure mode).
+
+    Every successful construction appends one line to ``call_log``, so a
+    test can prove that a retry re-ran *only* the crashed shard: the line
+    count must be ``trials`` plus the ``crash_after`` constructions the
+    dead attempt got through, never a full re-run's worth.
+    """
+
+    n: int
+    marker: str
+    call_log: str
+    crash_after: int = 0
+    crash_mode: str = "raise"
+
+    def __call__(self, rng):
+        global _FACTORY_CALLS
+        if _FACTORY_CALLS >= self.crash_after:
+            try:
+                os.close(os.open(self.marker, os.O_CREAT | os.O_EXCL))
+            except FileExistsError:
+                pass
+            else:
+                if self.crash_mode == "exit":
+                    os._exit(17)
+                elif self.crash_mode == "silent":
+                    os._exit(0)
+                raise RuntimeError("injected worker crash")
+        _FACTORY_CALLS += 1
+        with open(self.call_log, "a") as handle:
+            handle.write(f"{os.getpid()}\n")
+        from repro.deploy.topologies import uniform_disk
+        from repro.sinr.channel import SINRChannel
+
+        return SINRChannel(uniform_disk(self.n, rng))
+
+
+class _InterruptingContext:
+    """Wrap a multiprocessing context so queue gets raise KeyboardInterrupt.
+
+    Models Ctrl-C landing in the parent's ``results.get`` — the spot the
+    parent spends nearly all its time in — after ``after_gets`` calls.
+    """
+
+    def __init__(self, context, after_gets):
+        self._context = context
+        self._after = after_gets
+        self._calls = 0
+
+    def Process(self, *args, **kwargs):
+        return self._context.Process(*args, **kwargs)
+
+    def Queue(self, *args, **kwargs):
+        queue = self._context.Queue(*args, **kwargs)
+        original_get = queue.get
+        outer = self
+
+        def interrupting_get(*get_args, **get_kwargs):
+            outer._calls += 1
+            if outer._calls > outer._after:
+                raise KeyboardInterrupt()
+            return original_get(*get_args, **get_kwargs)
+
+        queue.get = interrupting_get
+        return queue
+
+
+class TestShardRetry:
+    """The failure model: crashed shards retry; completed shards don't."""
+
+    def _factory(self, tmp_path, **kwargs):
+        return CrashingFactory(
+            n=N,
+            marker=str(tmp_path / "crashed.marker"),
+            call_log=str(tmp_path / "factory.log"),
+            **kwargs,
+        )
+
+    def _log_lines(self, factory):
+        with open(factory.call_log) as handle:
+            return handle.readlines()
+
+    def _serial_reference(self, trials):
+        return run_trials(
+            UniformDiskFactory(N),
+            _protocol(),
+            trials=trials,
+            seed=SEED,
+            max_rounds=MAX_ROUNDS,
+        )
+
+    @pytest.mark.parametrize("crash_mode", ["raise", "exit"])
+    def test_crashed_shard_retries_bit_exactly(self, tmp_path, crash_mode):
+        factory = self._factory(tmp_path, crash_after=0, crash_mode=crash_mode)
+        serial = self._serial_reference(4)
+        parallel = run_trials_parallel(
+            factory,
+            _protocol(),
+            trials=4,
+            seed=SEED,
+            max_rounds=MAX_ROUNDS,
+            workers=2,
+        )
+        assert parallel.rounds == serial.rounds
+        assert parallel.failures == serial.failures
+        assert parallel.total_rounds_executed == serial.total_rounds_executed
+        assert os.path.exists(factory.marker)
+        # Exactly one construction per trial: the crashed attempt died
+        # before building anything, and the other shard was NOT re-run.
+        assert len(self._log_lines(factory)) == 4
+
+    def test_silent_death_detected_and_retried(self, tmp_path):
+        # A worker that exits 0 without reporting its shard must be
+        # declared lost (after ~1s of queue silence) and re-executed.
+        factory = self._factory(tmp_path, crash_after=0, crash_mode="silent")
+        serial = self._serial_reference(4)
+        parallel = run_trials_parallel(
+            factory,
+            _protocol(),
+            trials=4,
+            seed=SEED,
+            max_rounds=MAX_ROUNDS,
+            workers=2,
+        )
+        assert parallel.rounds == serial.rounds
+        assert len(self._log_lines(factory)) == 4
+
+    def test_partial_shard_redelivery_is_deduplicated(self, tmp_path):
+        # Crash after one delivered trial: the retry re-sends that trial's
+        # payload; results stay bit-exact and telemetry counts it once.
+        factory = self._factory(tmp_path, crash_after=1, crash_mode="raise")
+        serial = self._serial_reference(4)
+        registry = MetricsRegistry(enabled=True)
+        sink = JsonlEventSink(tmp_path / "events.jsonl")
+        previous_registry = set_registry(registry)
+        previous_sink = set_sink(sink)
+        try:
+            parallel = run_trials_parallel(
+                factory,
+                _protocol(),
+                trials=4,
+                seed=SEED,
+                max_rounds=MAX_ROUNDS,
+                workers=2,
+            )
+        finally:
+            set_registry(previous_registry)
+            set_sink(previous_sink)
+            sink.close()
+        assert parallel.rounds == serial.rounds
+        metrics = registry.snapshot()
+        assert metrics["runner.trials"]["value"] == 4
+        assert metrics["runner.shard_retries"]["value"] == 1
+        retries = [
+            e
+            for e in read_events(tmp_path / "events.jsonl")
+            if e["event"] == "shard_retry"
+        ]
+        assert len(retries) == 1
+        assert retries[0]["attempt"] == 2
+        assert retries[0]["max_attempts"] == DEFAULT_SHARD_ATTEMPTS
+        # trials + the one construction the dead attempt completed.
+        assert len(self._log_lines(factory)) == 5
+
+    def test_retries_exhausted_raises(self):
+        def exploding_factory(rng):
+            raise RuntimeError("boom in worker")
+
+        with pytest.raises(RuntimeError, match=r"2 attempt\(s\)"):
+            run_trials_parallel(
+                exploding_factory,
+                _protocol(),
+                trials=4,
+                seed=SEED,
+                workers=2,
+                shard_attempts=2,
+            )
+
+    def test_shard_attempts_validation(self):
+        with pytest.raises(ValueError, match="shard_attempts"):
+            run_trials_parallel(
+                FACTORIES["stochastic"],
+                _protocol(),
+                trials=2,
+                workers=2,
+                shard_attempts=0,
+            )
+
+
+class TestParentInterrupt:
+    def test_keyboard_interrupt_terminates_workers_promptly(self, monkeypatch):
+        # Regression: the parent's cleanup used to join workers without
+        # terminating them unless a worker had *already* failed, so a
+        # Ctrl-C mid-``results.get`` blocked until every shard finished
+        # its trials. Slow shards + an immediate interrupt would hang the
+        # old code for ~minutes; the fix must return in ~milliseconds.
+        def slow_factory(rng):
+            time.sleep(60)
+            raise AssertionError("factory should have been terminated")
+
+        import repro.sim.parallel as parallel_module
+
+        real_get_context = multiprocessing.get_context
+        monkeypatch.setattr(
+            parallel_module.multiprocessing,
+            "get_context",
+            lambda method=None: _InterruptingContext(
+                real_get_context(method), after_gets=0
+            ),
+        )
+        started = time.perf_counter()
+        with pytest.raises(KeyboardInterrupt):
+            run_trials_parallel(
+                slow_factory,
+                _protocol(),
+                trials=4,
+                seed=SEED,
+                workers=2,
+            )
+        elapsed = time.perf_counter() - started
+        assert elapsed < 10.0, f"cleanup blocked for {elapsed:.1f}s"
+        assert not any(
+            process.is_alive() for process in multiprocessing.active_children()
+        )
 
 
 class TestDeterministicFactorySharing:

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import math
 import sys
 from typing import Dict, List, Optional
 
@@ -42,6 +43,22 @@ REPORT_ONLY_PREFIXES = (PARALLEL_PREFIX, BATCHED_PREFIX)
 
 def _is_report_only(name: str) -> bool:
     return name.startswith(REPORT_ONLY_PREFIXES)
+
+
+def _finite_rate(value) -> Optional[float]:
+    """``value`` as a positive finite float, else ``None``.
+
+    Guards the rounds/sec delta: ``TrialStats.rounds_per_second``
+    legitimately reports NaN for zero/NaN wall times, and NaN is *truthy*
+    — a bare ``if base and cand`` check would happily print a NaN delta.
+    Zero is excluded too (it is no valid denominator for a ratio).
+    """
+    if value is None:
+        return None
+    rate = float(value)
+    if not math.isfinite(rate) or rate <= 0.0:
+        return None
+    return rate
 
 
 def _fmt_seconds(value: Optional[float]) -> str:
@@ -98,10 +115,10 @@ def compare_records(
             verdict = "REGRESSION"
             regressions.append(name)
         rps_delta = None
-        base_rps = base_entry.get("rounds_per_sec")
-        cand_rps = cand_entry.get("rounds_per_sec")
-        if base_rps and cand_rps:
-            rps_delta = (float(cand_rps) - float(base_rps)) / float(base_rps)
+        base_rps = _finite_rate(base_entry.get("rounds_per_sec"))
+        cand_rps = _finite_rate(cand_entry.get("rounds_per_sec"))
+        if base_rps is not None and cand_rps is not None:
+            rps_delta = (cand_rps - base_rps) / base_rps
         rows.append(
             [
                 name,
@@ -127,7 +144,8 @@ def _scaling_speedups(
     """
     benchmarks = record["benchmarks"]
     base = benchmarks.get(f"{prefix}{marker}1")
-    if not base or not float(base.get("wall_time_s") or 0.0):
+    base_wall = float(base.get("wall_time_s") or 0.0) if base else 0.0
+    if not math.isfinite(base_wall) or base_wall <= 0.0:
         return {}
     speedups: Dict[int, float] = {}
     for name, entry in benchmarks.items():
@@ -138,8 +156,8 @@ def _scaling_speedups(
         except (IndexError, ValueError):
             continue
         wall = float(entry.get("wall_time_s") or 0.0)
-        if wall > 0.0:
-            speedups[scale] = float(base["wall_time_s"]) / wall
+        if math.isfinite(wall) and wall > 0.0:
+            speedups[scale] = base_wall / wall
     return speedups
 
 
